@@ -1,0 +1,68 @@
+// Figure 10 (a-d): leader-slowness phenomenon (D6). n = 32, batch 100; slow
+// leaders (0..f = 10) delay proposing until late in their view; two timeout
+// settings, 10ms and 100ms.
+//
+// Expected shape (paper): slow leaders degrade throughput and latency in all
+// protocols except HotStuff-1 with slotting, where multiple slots per view
+// realign incentives (slotted leaders propose promptly). The longer the
+// timer, the worse the damage to the non-slotted protocols.
+
+#include <cstdio>
+
+#include "runtime/experiment.h"
+#include "runtime/report.h"
+
+namespace hotstuff1 {
+namespace {
+
+void RunTimer(double timer_ms) {
+  const uint32_t kSlow[] = {0, 1, 4, 7, 10};
+  const ProtocolKind kProtocols[] = {
+      ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2, ProtocolKind::kHotStuff1,
+      ProtocolKind::kHotStuff1Slotted};
+
+  char cap_t[128], cap_l[128];
+  std::snprintf(cap_t, sizeof(cap_t),
+                "Figure 10: Leader slowness (timer %gms) - Throughput (txn/s), n=32",
+                timer_ms);
+  std::snprintf(cap_l, sizeof(cap_l),
+                "Figure 10: Leader slowness (timer %gms) - Client Latency", timer_ms);
+  ReportTable tput(cap_t, {"slow leaders", "HotStuff", "HotStuff-2", "HotStuff-1",
+                           "HS-1(slotting)"});
+  ReportTable lat(cap_l, {"slow leaders", "HotStuff", "HotStuff-2", "HotStuff-1",
+                          "HS-1(slotting)"});
+
+  for (uint32_t slow : kSlow) {
+    std::vector<std::string> trow{std::to_string(slow)};
+    std::vector<std::string> lrow{std::to_string(slow)};
+    for (ProtocolKind kind : kProtocols) {
+      ExperimentConfig cfg;
+      cfg.protocol = kind;
+      cfg.n = 32;
+      cfg.batch_size = 100;
+      cfg.fault = Fault::kSlowLeader;
+      cfg.num_faulty = slow;
+      cfg.view_timer = Millis(timer_ms);
+      cfg.delta = Millis(1);
+      cfg.duration = std::max<SimTime>(BenchDuration(1500), 25 * cfg.view_timer);
+      cfg.warmup = std::max<SimTime>(Millis(300), 4 * cfg.view_timer);
+      cfg.seed = 2024;
+      const ExperimentResult res = RunPaperPoint(cfg);
+      trow.push_back(FormatTps(res.throughput_tps));
+      lrow.push_back(FormatMs(res.avg_latency_ms));
+    }
+    tput.AddRow(trow);
+    lat.AddRow(lrow);
+  }
+  tput.Print();
+  lat.Print();
+}
+
+}  // namespace
+}  // namespace hotstuff1
+
+int main() {
+  hotstuff1::RunTimer(10);
+  hotstuff1::RunTimer(100);
+  return 0;
+}

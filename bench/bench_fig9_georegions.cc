@@ -1,0 +1,67 @@
+// Figure 9 (e, j): two-region geographical deployment. n = 31 replicas split
+// between North Virginia and London (k in London), clients in North
+// Virginia.
+//
+// Expected shape (paper): with k <= f or k >= n-f, a leader can form
+// certificates within its own region; in between, every certificate needs a
+// trans-atlantic vote, so throughput drops and latency rises. k <= f
+// outperforms k >= n-f because most leaders are co-located with the
+// clients. HotStuff-1 with slotting wins at the extremes.
+
+#include <cstdio>
+
+#include "runtime/experiment.h"
+#include "runtime/report.h"
+
+namespace hotstuff1 {
+namespace {
+
+void Run() {
+  const uint32_t kLondon[] = {0, 10, 11, 20, 21, 31};
+  const ProtocolKind kProtocols[] = {
+      ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2, ProtocolKind::kHotStuff1,
+      ProtocolKind::kHotStuff1Slotted};
+
+  ReportTable tput(
+      "Figure 9(e): Geographical Deployment - Throughput (txn/s), n=31",
+      {"k(London)", "HotStuff", "HotStuff-2", "HotStuff-1", "HS-1(slotting)"});
+  ReportTable lat("Figure 9(j): Geographical Deployment - Client Latency",
+                  {"k(London)", "HotStuff", "HotStuff-2", "HotStuff-1",
+                   "HS-1(slotting)"});
+
+  for (uint32_t k : kLondon) {
+    std::vector<std::string> trow{std::to_string(k)};
+    std::vector<std::string> lrow{std::to_string(k)};
+    for (ProtocolKind kind : kProtocols) {
+      ExperimentConfig cfg;
+      cfg.protocol = kind;
+      cfg.n = 31;
+      cfg.batch_size = 100;
+      cfg.topology = sim::Topology::TwoRegion(31, k);
+      cfg.client_region = 0;  // North Virginia
+      cfg.delta = Millis(50);
+      cfg.view_timer = Millis(400);
+      // k <= f and k >= n-f run at intra-region speed (short window is
+      // plenty); the trans-atlantic regime needs enough ~76ms views.
+      const bool slow_regime = k > 10 && k < 21;
+      cfg.duration = slow_regime ? Seconds(6) : BenchDuration(1500);
+      cfg.warmup = slow_regime ? Seconds(1.5) : Millis(400);
+      cfg.seed = 2024;
+      const ExperimentResult res = RunPaperPoint(cfg);
+      trow.push_back(FormatTps(res.throughput_tps));
+      lrow.push_back(FormatMs(res.avg_latency_ms));
+    }
+    tput.AddRow(trow);
+    lat.AddRow(lrow);
+  }
+  tput.Print();
+  lat.Print();
+}
+
+}  // namespace
+}  // namespace hotstuff1
+
+int main() {
+  hotstuff1::Run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the substrates: hashing, signing,
+// certificate verification, block construction, KV execution/undo, ledger
+// speculation, the event queue, and workload generation.
+
+#include <benchmark/benchmark.h>
+
+#include "consensus/certificate.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "ledger/ledger.h"
+#include "sim/simulator.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace hotstuff1 {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SignVerify(benchmark::State& state) {
+  KeyRegistry registry(4, 1);
+  Signer signer(&registry, 0);
+  const Hash256 digest = Sha256::Digest("payload");
+  for (auto _ : state) {
+    const Signature sig = signer.Sign(SignDomain::kProposeVote, digest);
+    benchmark::DoNotOptimize(registry.Verify(sig, SignDomain::kProposeVote, digest));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_CertificateVerify(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t quorum = n - (n - 1) / 3;
+  KeyRegistry registry(n, 1);
+  const Hash256 h = Sha256::Digest("block");
+  VoteAccumulator acc(CertKind::kPrepare, 5, BlockId{5, 1}, h, quorum);
+  for (uint32_t r = 0; r < quorum; ++r) {
+    acc.Add(Signer(&registry, r)
+                .Sign(SignDomain::kProposeVote,
+                      VoteDigest(CertKind::kPrepare, 5, BlockId{5, 1}, h)));
+  }
+  const Certificate cert = acc.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.Verify(registry, quorum).ok());
+  }
+}
+BENCHMARK(BM_CertificateVerify)->Arg(4)->Arg(32)->Arg(64);
+
+void BM_BlockConstruction(benchmark::State& state) {
+  YcsbWorkload workload;
+  Rng rng(3);
+  std::vector<Transaction> txns;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    Transaction t = workload.Generate(&rng);
+    t.id = static_cast<uint64_t>(i);
+    txns.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    auto block = std::make_shared<Block>(BlockId{1, 1}, Block::Genesis()->hash(),
+                                         1, 0, txns);
+    benchmark::DoNotOptimize(block->hash());
+  }
+}
+BENCHMARK(BM_BlockConstruction)->Arg(100)->Arg(1000);
+
+void BM_KvApplyUndo(benchmark::State& state) {
+  KvState kv;
+  YcsbWorkload workload;
+  Rng rng(4);
+  Transaction txn = workload.Generate(&rng);
+  for (auto _ : state) {
+    KvState::UndoLog undo;
+    benchmark::DoNotOptimize(kv.ApplyTxn(txn, &undo));
+    kv.Undo(undo);
+  }
+}
+BENCHMARK(BM_KvApplyUndo);
+
+void BM_LedgerSpeculateCommit(benchmark::State& state) {
+  YcsbWorkload workload;
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlockStore store;
+    Ledger ledger(&store, KvState());
+    std::vector<Transaction> txns;
+    for (int i = 0; i < 100; ++i) {
+      Transaction t = workload.Generate(&rng);
+      t.id = static_cast<uint64_t>(i);
+      txns.push_back(std::move(t));
+    }
+    auto block = std::make_shared<Block>(BlockId{1, 1}, store.genesis()->hash(),
+                                         1, 0, std::move(txns));
+    store.Put(block);
+    state.ResumeTiming();
+    ledger.Speculate(block);
+    benchmark::DoNotOptimize(ledger.CommitChain(block));
+  }
+}
+BENCHMARK(BM_LedgerSpeculateCommit);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    uint64_t count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.At((i * 37) % 500, [&count]() { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_YcsbGenerate(benchmark::State& state) {
+  YcsbWorkload workload;
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Generate(&rng));
+  }
+}
+BENCHMARK(BM_YcsbGenerate);
+
+void BM_TpccNewOrder(benchmark::State& state) {
+  TpccConfig cfg;
+  cfg.new_order_fraction = 1.0;
+  TpccWorkload workload(cfg);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Generate(&rng));
+  }
+}
+BENCHMARK(BM_TpccNewOrder);
+
+}  // namespace
+}  // namespace hotstuff1
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Global marketplace: an order-management ledger (TPC-C NewOrder/Payment)
+// replicated across up to five continents, with customers in North
+// Virginia. Shows how geo-distribution stretches finality latency and how
+// HotStuff-1's early finality keeps checkout snappy.
+
+#include <cstdio>
+
+#include "runtime/experiment.h"
+#include "sim/topology.h"
+
+int main() {
+  using namespace hotstuff1;
+
+  std::printf("Marketplace ledger: 10 replicas, TPC-C, clients in North Virginia\n");
+
+  for (uint32_t regions = 1; regions <= 5; ++regions) {
+    std::printf("\n-- %u region%s: ", regions, regions > 1 ? "s" : "");
+    for (uint32_t r = 0; r < regions; ++r) {
+      std::printf("%s%s", sim::Topology::RegionName(r).c_str(),
+                  r + 1 < regions ? ", " : "\n");
+    }
+    std::printf("%-14s %12s %14s %14s\n", "protocol", "orders/s", "avg checkout",
+                "p99 checkout");
+    for (ProtocolKind kind : {ProtocolKind::kHotStuff2, ProtocolKind::kHotStuff1}) {
+      ExperimentConfig cfg;
+      cfg.protocol = kind;
+      cfg.n = 10;
+      cfg.batch_size = 50;
+      cfg.topology = regions == 1 ? sim::Topology::Lan(10)
+                                  : sim::Topology::Geo(10, regions);
+      cfg.client_region = sim::kNorthVirginia;
+      cfg.workload = WorkloadKind::kTpcc;
+      cfg.view_timer = regions == 1 ? Millis(10) : Millis(1200);
+      cfg.delta = regions == 1 ? Millis(1) : Millis(160);
+      cfg.duration = regions == 1 ? Seconds(1) : Seconds(8);
+      cfg.warmup = regions == 1 ? Millis(200) : Seconds(2);
+      const ExperimentResult res = RunPaperPoint(cfg);
+      std::printf("%-14s %12.0f %12.2fms %12.2fms\n", res.protocol.c_str(),
+                  res.throughput_tps, res.avg_latency_ms, res.p99_latency_ms);
+    }
+  }
+
+  std::printf(
+      "\nEvery extra region adds trans-continental hops to the commit path;\n"
+      "HotStuff-1 saves two of them by confirming finality from prepared,\n"
+      "speculatively executed orders (§3).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Digital-asset payment platform (the paper's motivating scenario, §1):
+// clients submit payments and care about *finality latency* - the moment
+// they can hand over goods. This example compares the finality confirmation
+// latency a payment client sees under HotStuff, HotStuff-2, and HotStuff-1's
+// early (speculative) finality, on the same 7-replica deployment.
+
+#include <cstdio>
+
+#include "runtime/experiment.h"
+#include "workload/tpcc.h"
+
+int main() {
+  using namespace hotstuff1;
+
+  std::printf("Payment platform: 7 replicas, f = 2, TPC-C Payment mix\n");
+  std::printf("%-22s %12s %14s %14s %14s\n", "protocol", "payments/s",
+              "avg finality", "p50 finality", "p99 finality");
+
+  for (ProtocolKind kind : {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2,
+                            ProtocolKind::kHotStuff1,
+                            ProtocolKind::kHotStuff1Slotted}) {
+    ExperimentConfig cfg;
+    cfg.protocol = kind;
+    cfg.n = 7;
+    cfg.batch_size = 50;
+    cfg.duration = Seconds(1);
+    cfg.warmup = Millis(200);
+    cfg.workload = WorkloadKind::kTpcc;
+    cfg.tpcc.new_order_fraction = 0.0;  // pure Payment transactions
+    const ExperimentResult res = RunPaperPoint(cfg);
+    std::printf("%-22s %12.0f %12.2fms %12.2fms %12.2fms\n", res.protocol.c_str(),
+                res.throughput_tps, res.avg_latency_ms, res.p50_latency_ms,
+                res.p99_latency_ms);
+  }
+
+  std::printf(
+      "\nHotStuff-1 payments finalize after one protocol phase: replicas\n"
+      "speculatively execute prepared payments and the client accepts on\n"
+      "n-f matching responses - two network hops earlier than HotStuff-2's\n"
+      "commit-certificate path (§3).\n");
+  return 0;
+}

@@ -1,0 +1,333 @@
+#include "baselines/hotstuff.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+ChainedReplica::ChainedReplica(ReplicaId id, const ConsensusConfig& config,
+                               sim::Network* net, const KeyRegistry* registry,
+                               TransactionSource* source, ResponseSink* sink,
+                               KvState initial_state)
+    : ReplicaBase(id, config, net, registry, source, sink, std::move(initial_state)),
+      high_cert_(Certificate::Genesis()) {}
+
+void ChainedReplica::UpdateHighCert(const Certificate& cert) {
+  if (high_cert_.block_id() < cert.block_id()) high_cert_ = cert;
+}
+
+void ChainedReplica::OnEnterView(uint64_t v) {
+  // Drop leader state and buffered proposals for views we have left behind.
+  while (!nv_state_.empty() && nv_state_.begin()->first < v) {
+    nv_state_.erase(nv_state_.begin());
+  }
+  while (!pending_votes_.empty() && pending_votes_.begin()->first < v) {
+    pending_votes_.erase(pending_votes_.begin());
+  }
+
+  if (v == 1) {
+    // Bootstrap: there is no view 0 to exit, so every replica hands L_1 a
+    // NewView over the hard-coded genesis certificate (§4.1 note).
+    auto nv = std::make_shared<NewViewMsg>(id_);
+    nv->target_view = 1;
+    nv->high_cert = high_cert_;
+    nv->has_share = false;
+    SendTo(LeaderOf(1), std::move(nv));
+  }
+
+  // A proposal for this view may have arrived while we were in the previous
+  // one; vote on it now.
+  auto pending = pending_votes_.find(v);
+  if (pending != pending_votes_.end()) {
+    auto msg = pending->second;
+    pending_votes_.erase(pending);
+    HandlePropose(*msg);  // full re-validation; votes and exits the view
+    return;
+  }
+
+  if (IsLeaderOf(v)) {
+    // ShareTimer(v) = entry + 3Δ (§4.2.1): the fallback deadline after which
+    // the leader proposes with whatever certificates it has heard.
+    simulator()->After(3 * config_.delta, [this, v]() {
+      if (crashed_ || view() != v) return;
+      nv_state_[v].share_timer_passed = true;
+      MaybePropose(v);
+    });
+    MaybePropose(v);  // quorum may already be waiting
+  }
+}
+
+void ChainedReplica::OnViewTimeout(uint64_t v) {
+  auto nv = std::make_shared<NewViewMsg>(id_);
+  nv->target_view = v + 1;
+  nv->high_cert = high_cert_;
+  nv->has_share = false;
+  SendTo(LeaderOf(v + 1), std::move(nv));
+  pacemaker_.CompletedView(v + 1);
+}
+
+void ChainedReplica::OnProtocolMessage(const ConsensusMessage& msg) {
+  switch (msg.type) {
+    case ConsensusMessage::Type::kPropose:
+      HandlePropose(static_cast<const ProposeMsg&>(msg));
+      break;
+    case ConsensusMessage::Type::kNewView:
+      HandleNewView(static_cast<const NewViewMsg&>(msg));
+      break;
+    default:
+      break;  // chained protocols use no other message types
+  }
+}
+
+void ChainedReplica::HandlePropose(const ProposeMsg& msg) {
+  ++metrics_.proposals_received;
+  if (!msg.block) return;
+  const uint64_t v = msg.block->view();
+  if (msg.sender != LeaderOf(v)) return;
+  if (msg.block->slot() != 1) return;
+  if (!CheckCert(msg.justify)) return;
+  // Well-formedness: the proposal must extend the block its certificate
+  // certifies.
+  if (msg.block->parent_hash() != msg.justify.block_hash()) return;
+
+  if (!EnsureBlock(msg.justify.block_hash(), msg.sender)) {
+    // Parent missing: stash and retry once the fetch completes (§4.2).
+    pending_votes_[v] = std::make_shared<ProposeMsg>(msg);
+    return;
+  }
+  const BlockPtr certified = store_.GetOrNull(msg.justify.block_hash());
+  if (msg.block->height() != certified->height() + 1) return;
+
+  store_.Put(msg.block);
+  RecordJustify(msg.block->hash(), msg.justify);
+  UpdateHighCert(msg.justify);
+  ProcessCertificate(msg.justify, certified, v);
+
+  if (v == view()) {
+    VoteOn(msg);
+    // Fig. 4 line 19: exitView() runs at the end of the Propose event even
+    // when the vote-safety check declined to vote (e.g. the next leader
+    // already holds a higher certificate it formed from vote shares).
+    if (view() == v && v > exited_view_) ExitView(v);
+  } else if (v > view()) {
+    pending_votes_[v] = std::make_shared<ProposeMsg>(msg);
+  }
+}
+
+void ChainedReplica::VoteOn(const ProposeMsg& msg) {
+  const uint64_t v = msg.block->view();
+  if (v != view() || voted_view_ >= v) return;
+  if (v <= exited_view_) return;  // exitView(): no voting after timeout
+
+  // Vote-safety (Fig. 4 line 16): vote only when the proposal extends a
+  // certificate not lower than our highest known one. UpdateHighCert already
+  // ran, so safety is equivalent to the justify *being* the highest.
+  const bool safe = msg.justify.block_id() == high_cert_.block_id() &&
+                    msg.justify.block_hash() == high_cert_.block_hash();
+  const bool collude = adversary_.collude && adversary_.faulty &&
+                       (*adversary_.faulty)[msg.sender];
+  if (!safe && !collude) return;
+
+  voted_view_ = v;
+  ++metrics_.votes_sent;
+  auto nv = std::make_shared<NewViewMsg>(id_);
+  nv->target_view = v + 1;
+  nv->high_cert = high_cert_;
+  nv->has_share = true;
+  nv->share_kind = CertKind::kPrepare;
+  nv->voted_id = msg.block->id();
+  nv->voted_hash = msg.block->hash();
+  nv->share = SignVote(CertKind::kPrepare, v, msg.block->id(), msg.block->hash());
+  SendTo(LeaderOf(v + 1), std::move(nv));
+  ExitView(v);  // callers re-check view() before their own ExitView
+}
+
+void ChainedReplica::ExitView(uint64_t v) { pacemaker_.CompletedView(v + 1); }
+
+void ChainedReplica::HandleNewView(const NewViewMsg& msg) {
+  const uint64_t tv = msg.target_view;
+  if (LeaderOf(tv) != id_) return;
+  if (tv < view()) return;
+  LeaderViewState& st = nv_state_[tv];
+  if (st.proposed) return;
+  if (!CheckCert(msg.high_cert)) return;
+  UpdateHighCert(msg.high_cert);
+  st.senders.insert(msg.sender);
+
+  // A tail-forking leader pretends it received no votes for the previous
+  // proposal (Example 6.2) and never forms P(v-1).
+  const bool ignore_shares = adversary_.fault == Fault::kTailFork;
+  if (msg.has_share && !ignore_shares &&
+      msg.share_kind == CertKind::kPrepare && msg.voted_id.view + 1 == tv) {
+    if (CheckVote(CertKind::kPrepare, msg.voted_id.view, msg.voted_id,
+                  msg.voted_hash, msg.share)) {
+      auto [it, inserted] = st.accs.try_emplace(
+          msg.voted_hash, CertKind::kPrepare, msg.voted_id.view, msg.voted_id,
+          msg.voted_hash, config_.quorum());
+      (void)inserted;
+      if (it->second.Add(msg.share)) {
+        st.formed = true;
+        UpdateHighCert(it->second.Build());
+      }
+    }
+  }
+  MaybePropose(tv);
+}
+
+void ChainedReplica::MaybePropose(uint64_t v) {
+  if (crashed_ || view() != v || v <= exited_view_ || !IsLeaderOf(v)) return;
+  LeaderViewState& st = nv_state_[v];
+  if (st.proposed || st.waiting_block) return;
+  if (st.senders.size() < config_.quorum()) return;
+
+  bool ready = st.formed || st.senders.size() >= config_.n || st.share_timer_passed;
+  if (adversary_.fault == Fault::kTailFork) ready = true;
+  if (!ready) return;
+  Propose(v);
+}
+
+void ChainedReplica::Propose(uint64_t v) {
+  LeaderViewState& st = nv_state_[v];
+  st.proposed = true;
+
+  if (adversary_.fault == Fault::kSlowLeader) {
+    // D6: the rational leader holds its proposal to collect high-fee
+    // transactions, proposing only late in its view (Example 6.1).
+    const SimTime when = pacemaker_.entered_at() + (pacemaker_.tau() * 3) / 4;
+    simulator()->At(when, [this, v]() {
+      if (crashed_ || view() != v) return;
+      BuildAndSend(v, high_cert_);
+    });
+    return;
+  }
+
+  if (adversary_.fault == Fault::kRollbackAttack && adversary_.faulty &&
+      high_cert_.block_id().view + 1 == v) {
+    // §7.3 Rollback: equivocate across P(v-1) and P(v-2) so that a subset of
+    // correct replicas speculates a block the winning branch abandons.
+    const Certificate honest = high_cert_;
+    const Certificate* prev = JustifyOf(honest.block_hash());
+    const BlockPtr parent_a = store_.GetOrNull(honest.block_hash());
+    const BlockPtr parent_b = prev ? store_.GetOrNull(prev->block_hash()) : nullptr;
+    if (prev != nullptr && parent_a != nullptr && parent_b != nullptr) {
+      ChargeCpu(config_.costs.propose_base_us);
+      std::vector<Transaction> txns = DrawBatch();
+      auto block_a = std::make_shared<Block>(BlockId{v, 1}, parent_a->hash(),
+                                             parent_a->height() + 1, id_, txns);
+      auto block_b = std::make_shared<Block>(BlockId{v, 1}, parent_b->hash(),
+                                             parent_b->height() + 1, id_,
+                                             std::move(txns));
+      store_.Put(block_a);
+      store_.Put(block_b);
+      RecordJustify(block_a->hash(), honest);
+      RecordJustify(block_b->hash(), *prev);
+
+      std::vector<bool> mask_a(config_.n, false);
+      uint32_t victims = 0;
+      for (ReplicaId r = 0; r < config_.n && victims < adversary_.rollback_victims;
+           ++r) {
+        if (!(*adversary_.faulty)[r]) {
+          mask_a[r] = true;
+          ++victims;
+        }
+      }
+      std::vector<bool> mask_b(config_.n);
+      for (ReplicaId r = 0; r < config_.n; ++r) mask_b[r] = !mask_a[r];
+
+      auto msg_a = std::make_shared<ProposeMsg>(id_);
+      msg_a->block = block_a;
+      msg_a->justify = honest;
+      auto msg_b = std::make_shared<ProposeMsg>(id_);
+      msg_b->block = block_b;
+      msg_b->justify = *prev;
+      ++metrics_.blocks_proposed;
+      ++metrics_.slots_proposed;
+      SendMasked(mask_a, msg_a);
+      SendMasked(mask_b, msg_b);
+      return;
+    }
+    // Attack prerequisites missing; behave honestly below.
+  }
+
+  BuildAndSend(v, high_cert_);
+}
+
+void ChainedReplica::BuildAndSend(uint64_t v, const Certificate& justify) {
+  LeaderViewState& st = nv_state_[v];
+  const BlockPtr parent = store_.GetOrNull(justify.block_hash());
+  if (!parent) {
+    st.proposed = false;
+    st.waiting_block = true;
+    EnsureBlock(justify.block_hash(), LeaderOf(justify.block_id().view));
+    return;
+  }
+  st.proposed = true;
+  ChargeCpu(config_.costs.propose_base_us);
+  auto block = std::make_shared<Block>(BlockId{v, 1}, parent->hash(),
+                                       parent->height() + 1, id_, DrawBatch());
+  store_.Put(block);
+  RecordJustify(block->hash(), justify);
+  ++metrics_.blocks_proposed;
+  ++metrics_.slots_proposed;
+
+  auto msg = std::make_shared<ProposeMsg>(id_);
+  msg->block = std::move(block);
+  msg->justify = justify;
+  Broadcast(std::move(msg));
+}
+
+void ChainedReplica::OnBlockFetched(const BlockPtr& block) {
+  // Retry buffered proposals whose parent just arrived. Collect first:
+  // HandlePropose may advance the view, which prunes pending_votes_ and
+  // would invalidate a live iterator.
+  std::vector<std::shared_ptr<const ProposeMsg>> ready;
+  for (auto it = pending_votes_.begin(); it != pending_votes_.end();) {
+    if (it->second->justify.block_hash() == block->hash()) {
+      ready.push_back(it->second);
+      it = pending_votes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& msg : ready) HandlePropose(*msg);
+  // Retry a leader proposal that was waiting on its parent.
+  const uint64_t v = view();
+  if (IsLeaderOf(v)) {
+    auto it = nv_state_.find(v);
+    if (it != nv_state_.end() && it->second.waiting_block) {
+      it->second.waiting_block = false;
+      MaybePropose(v);
+    }
+  }
+}
+
+void ChainedReplica::CommitTwoChain(const BlockPtr& certified) {
+  // Prefix commit rule (Def. 4.6): P(w) extends P(w-1), i.e. the certified
+  // block's own justify certifies a block of the immediately preceding view.
+  const Certificate* justify = JustifyOf(certified->hash());
+  if (justify == nullptr) return;
+  if (justify->block_id().view + 1 != certified->view()) return;
+  const BlockPtr target = store_.GetOrNull(justify->block_hash());
+  if (!target) return;
+  TryCommit(target);
+}
+
+void ChainedReplica::CommitThreeChain(const BlockPtr& certified) {
+  // Chained HotStuff: commit the tail of a 3-chain with consecutive views.
+  const Certificate* j2 = JustifyOf(certified->hash());
+  if (j2 == nullptr || j2->block_id().view + 1 != certified->view()) return;
+  const BlockPtr b2 = store_.GetOrNull(j2->block_hash());
+  if (!b2) return;
+  const Certificate* j3 = JustifyOf(b2->hash());
+  if (j3 == nullptr || j3->block_id().view + 1 != b2->view()) return;
+  const BlockPtr b3 = store_.GetOrNull(j3->block_hash());
+  if (!b3) return;
+  TryCommit(b3);
+}
+
+void HotStuffReplica::ProcessCertificate(const Certificate& /*justify*/,
+                                         const BlockPtr& certified,
+                                         uint64_t /*proposal_view*/) {
+  CommitThreeChain(certified);
+}
+
+}  // namespace hotstuff1

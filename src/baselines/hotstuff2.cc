@@ -1,0 +1,11 @@
+#include "baselines/hotstuff2.h"
+
+namespace hotstuff1 {
+
+void HotStuff2Replica::ProcessCertificate(const Certificate& /*justify*/,
+                                          const BlockPtr& certified,
+                                          uint64_t /*proposal_view*/) {
+  CommitTwoChain(certified);
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,140 @@
+#include "client/client_pool.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+ClientPool::ClientPool(sim::Simulator* sim, const Workload* workload,
+                       ClientPoolConfig config, std::vector<SimTime> latency_to_replica)
+    : sim_(sim),
+      workload_(workload),
+      config_(config),
+      latency_(std::move(latency_to_replica)),
+      rng_(config.seed) {
+  HS1_CHECK_LE(latency_.size(), 64u) << "replica masks use 64-bit words";
+}
+
+void ClientPool::Start() {
+  for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    // Tiny stagger avoids an artificial thundering herd at t=0.
+    sim_->After(static_cast<SimTime>(c % 97), [this, c]() { SubmitFresh(c); });
+  }
+  sim_->After(config_.resubmit_timeout / 2, [this]() { Sweep(); });
+}
+
+void ClientPool::SubmitFresh(uint32_t client) {
+  const uint64_t id = (static_cast<uint64_t>(client) << 32) | next_seq_++;
+  ClientTxn state;
+  state.txn = workload_->Generate(&rng_);
+  state.txn.id = id;
+  state.txn.submit_time = sim_->Now();
+  state.client = client;
+  state.first_submit = sim_->Now();
+  state.last_enqueue = sim_->Now();
+  outstanding_.emplace(id, std::move(state));
+  queue_.push_back(id);
+}
+
+std::vector<Transaction> ClientPool::DrawBatch(ReplicaId leader, size_t max,
+                                               SimTime now) {
+  std::vector<Transaction> out;
+  const SimTime lat = leader < latency_.size() ? latency_[leader] : 0;
+  while (out.size() < max && !queue_.empty()) {
+    const uint64_t id = queue_.front();
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) {
+      queue_.pop_front();  // accepted while queued (late resubmission)
+      continue;
+    }
+    // Request hop: the transaction is visible to this leader only after the
+    // client->replica delay.
+    if (it->second.last_enqueue + lat > now) break;
+    queue_.pop_front();
+    it->second.in_flight = true;
+    out.push_back(it->second.txn);
+  }
+  return out;
+}
+
+void ClientPool::OnBlockResponse(ReplicaId from, const BlockPtr& block,
+                                 const std::vector<uint64_t>& results,
+                                 bool speculative, SimTime send_time) {
+  // Response hop back to the clients.
+  const SimTime lat = from < latency_.size() ? latency_[from] : 0;
+  sim_->At(send_time + lat, [this, from, block, results, speculative]() {
+    Process(from, block, results, speculative);
+  });
+}
+
+void ClientPool::Process(ReplicaId from, const BlockPtr& block,
+                         const std::vector<uint64_t>& results, bool speculative) {
+  const uint64_t bit = 1ULL << (from % 64);
+  const auto& txns = block->txns();
+  for (size_t i = 0; i < txns.size(); ++i) {
+    auto it = outstanding_.find(txns[i].id);
+    if (it == outstanding_.end()) continue;  // already accepted
+    ClientTxn& state = it->second;
+
+    ResponseTally* tally = nullptr;
+    for (ResponseTally& t : state.tallies) {
+      if (t.block_hash == block->hash() && t.result == results[i]) {
+        tally = &t;
+        break;
+      }
+    }
+    if (tally == nullptr) {
+      state.tallies.push_back(ResponseTally{block->hash(), results[i], 0, 0});
+      tally = &state.tallies.back();
+    }
+    tally->spec_mask |= bit;  // every response is at least a commit-vote
+    if (!speculative) tally->commit_mask |= bit;
+
+    const uint32_t votes =
+        static_cast<uint32_t>(std::popcount(tally->spec_mask | tally->commit_mask));
+    const uint32_t commits = static_cast<uint32_t>(std::popcount(tally->commit_mask));
+    if (commits >= config_.quorum_commit) {
+      Accept(txns[i].id, state, tally->block_hash, /*speculative=*/false);
+    } else if (config_.quorum_speculative > 0 && votes >= config_.quorum_speculative) {
+      Accept(txns[i].id, state, tally->block_hash, /*speculative=*/true);
+    }
+  }
+}
+
+void ClientPool::Accept(uint64_t id, ClientTxn& state, const Hash256& block_hash,
+                        bool speculative) {
+  latencies_.Add(sim_->Now() - state.first_submit);
+  ++accepted_;
+  if (speculative) ++accepted_speculative_;
+  if (config_.track_accepted) {
+    accepted_records_.push_back(AcceptedRecord{id, block_hash, speculative, sim_->Now()});
+  }
+  const uint32_t client = state.client;
+  outstanding_.erase(id);
+  SubmitFresh(client);  // closed loop: next request immediately
+}
+
+void ClientPool::Sweep() {
+  const SimTime now = sim_->Now();
+  for (auto& [id, state] : outstanding_) {
+    if (state.in_flight && now - state.last_enqueue >= config_.resubmit_timeout) {
+      // The block carrying this transaction was likely orphaned
+      // (tail-forked or rolled back); retry like a real client would.
+      state.in_flight = false;
+      state.last_enqueue = now;
+      ++resubmissions_;
+      queue_.push_back(id);
+    }
+  }
+  sim_->After(config_.resubmit_timeout / 2, [this]() { Sweep(); });
+}
+
+void ClientPool::ResetStats() {
+  latencies_.Clear();
+  accepted_ = 0;
+  accepted_speculative_ = 0;
+  resubmissions_ = 0;
+}
+
+}  // namespace hotstuff1

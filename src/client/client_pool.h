@@ -1,0 +1,123 @@
+// Closed-loop client population. Each virtual client keeps one transaction
+// outstanding; on acceptance it immediately submits the next. Acceptance
+// follows the paper's matching-quorum rules (§7 Metrics):
+//   * f+1 matching committed responses (HotStuff / HotStuff-2), or
+//   * n-f matching responses for speculative protocols (HotStuff-1), where
+//     committed responses also count towards the n-f quorum.
+// Responses match when (transaction, execution result, executed block) agree
+// - the Zyzzyva-style rule that prevents combining votes across views that
+// the prefix-speculation dilemma requires (§3, Appendix A.1).
+//
+// Transactions stuck in orphaned blocks are re-submitted after a timeout,
+// keeping their original submit time for latency accounting.
+
+#ifndef HOTSTUFF1_CLIENT_CLIENT_POOL_H_
+#define HOTSTUFF1_CLIENT_CLIENT_POOL_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "consensus/mempool.h"
+#include "consensus/metrics.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace hotstuff1 {
+
+struct ClientPoolConfig {
+  uint32_t num_clients = 800;
+  /// Committed-response threshold (f+1).
+  uint32_t quorum_commit = 2;
+  /// Speculative threshold (n-f); 0 disables speculative acceptance.
+  uint32_t quorum_speculative = 0;
+  /// Retry period for transactions lost in orphaned blocks.
+  SimTime resubmit_timeout = Millis(250);
+  uint64_t seed = 7;
+  /// Record (txn id, block hash) for every acceptance; used by client-safety
+  /// property tests (Cor. B.10).
+  bool track_accepted = false;
+};
+
+class ClientPool : public TransactionSource, public ResponseSink {
+ public:
+  /// `latency_to_replica[r]` is the one-way client<->replica delay (clients
+  /// sit in one region; the paper places them in North Virginia).
+  ClientPool(sim::Simulator* sim, const Workload* workload, ClientPoolConfig config,
+             std::vector<SimTime> latency_to_replica);
+
+  /// Submits every client's first transaction and starts the retry sweeper.
+  void Start();
+
+  // --- TransactionSource ------------------------------------------------------
+  std::vector<Transaction> DrawBatch(ReplicaId leader, size_t max,
+                                     SimTime now) override;
+  size_t PendingCount() const override { return queue_.size(); }
+
+  // --- ResponseSink ------------------------------------------------------------
+  void OnBlockResponse(ReplicaId from, const BlockPtr& block,
+                       const std::vector<uint64_t>& results, bool speculative,
+                       SimTime send_time) override;
+
+  // --- measurement -------------------------------------------------------------
+  /// Clears latency samples and acceptance counters (warmup boundary).
+  void ResetStats();
+  uint64_t accepted() const { return accepted_; }
+  uint64_t accepted_speculative() const { return accepted_speculative_; }
+  uint64_t resubmissions() const { return resubmissions_; }
+  const LatencyRecorder& latencies() const { return latencies_; }
+
+  struct AcceptedRecord {
+    uint64_t txn_id;
+    Hash256 block_hash;  // block whose responses formed the quorum
+    bool speculative;
+    SimTime time;
+  };
+  const std::vector<AcceptedRecord>& accepted_records() const {
+    return accepted_records_;
+  }
+
+ private:
+  struct ResponseTally {
+    Hash256 block_hash;
+    uint64_t result = 0;
+    uint64_t spec_mask = 0;    // replicas whose response counts as a commit-vote
+    uint64_t commit_mask = 0;  // replicas reporting a committed execution
+  };
+  struct ClientTxn {
+    Transaction txn;
+    uint32_t client = 0;
+    SimTime first_submit = 0;
+    SimTime last_enqueue = 0;
+    bool in_flight = false;  // drawn by some leader, awaiting responses
+    std::vector<ResponseTally> tallies;  // usually exactly one entry
+  };
+
+  void SubmitFresh(uint32_t client);
+  void Process(ReplicaId from, const BlockPtr& block,
+               const std::vector<uint64_t>& results, bool speculative);
+  void Accept(uint64_t id, ClientTxn& state, const Hash256& block_hash,
+              bool speculative);
+  void Sweep();
+
+  sim::Simulator* sim_;
+  const Workload* workload_;
+  ClientPoolConfig config_;
+  std::vector<SimTime> latency_;
+  Rng rng_;
+
+  std::deque<uint64_t> queue_;  // FIFO of waiting transaction ids
+  std::unordered_map<uint64_t, ClientTxn> outstanding_;
+  uint64_t next_seq_ = 1;
+
+  uint64_t accepted_ = 0;
+  uint64_t accepted_speculative_ = 0;
+  uint64_t resubmissions_ = 0;
+  LatencyRecorder latencies_;
+  std::vector<AcceptedRecord> accepted_records_;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_CLIENT_CLIENT_POOL_H_

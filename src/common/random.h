@@ -1,0 +1,104 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed so
+// that simulations are a pure function of (config, seed).
+
+#ifndef HOTSTUFF1_COMMON_RANDOM_H_
+#define HOTSTUFF1_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hotstuff1 {
+
+/// \brief xoshiro256** 1.0 seeded via splitmix64. Deterministic, fast, and
+/// identical across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection-free approximation is fine here; we
+    // accept the negligible modulo bias for simulation purposes.
+    return NextU64() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// \brief Zipfian generator over [0, n) with parameter theta, per the YCSB
+/// reference implementation (Gray et al. "Quickly Generating Billion-Record
+/// Synthetic Databases").
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    zetan_ = Zeta(n);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng* rng) const {
+    const double u = rng->NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  double Zeta(uint64_t n) const {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_COMMON_RANDOM_H_

@@ -1,0 +1,66 @@
+// Result<T>: a value or a non-OK Status (Arrow's arrow::Result idiom).
+
+#ifndef HOTSTUFF1_COMMON_RESULT_H_
+#define HOTSTUFF1_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hotstuff1 {
+
+/// \brief Holds either a T (success) or a non-OK Status (failure).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return status;` both work
+  // inside functions returning Result<T> (mirrors arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}          // NOLINT
+  Result(Status status) : repr_(std::move(status)) {    // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T MoveValueOrDie() {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define HS1_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto HS1_CONCAT_(_res_, __LINE__) = (rexpr);      \
+  if (!HS1_CONCAT_(_res_, __LINE__).ok())           \
+    return HS1_CONCAT_(_res_, __LINE__).status();   \
+  lhs = HS1_CONCAT_(_res_, __LINE__).MoveValueOrDie()
+
+#define HS1_CONCAT_INNER_(a, b) a##b
+#define HS1_CONCAT_(a, b) HS1_CONCAT_INNER_(a, b)
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_COMMON_RESULT_H_

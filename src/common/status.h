@@ -1,0 +1,109 @@
+// Status / Result error handling in the Arrow/RocksDB idiom: no exceptions,
+// explicit propagation, cheap OK path.
+
+#ifndef HOTSTUFF1_COMMON_STATUS_H_
+#define HOTSTUFF1_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hotstuff1 {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnauthenticated = 6,   // bad signature / malformed certificate
+  kProtocolViolation = 7, // message violates protocol rules
+  kInternal = 8,
+  kUnavailable = 9,
+};
+
+/// \brief Operation outcome. OK is represented by a null state pointer, so
+/// the success path costs one pointer compare.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status ProtocolViolation(std::string msg) {
+    return Status(StatusCode::kProtocolViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnauthenticated() const { return code() == StatusCode::kUnauthenticated; }
+  bool IsProtocolViolation() const {
+    return code() == StatusCode::kProtocolViolation;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+const char* StatusCodeName(StatusCode code);
+
+/// Propagate a non-OK Status to the caller.
+#define HS1_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::hotstuff1::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_COMMON_STATUS_H_

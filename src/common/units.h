@@ -1,0 +1,27 @@
+// Simulated-time units. All simulator timestamps are microseconds of virtual
+// time held in a signed 64-bit integer.
+
+#ifndef HOTSTUFF1_COMMON_UNITS_H_
+#define HOTSTUFF1_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace hotstuff1 {
+
+/// Virtual time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+constexpr SimTime Millis(double ms) { return static_cast<SimTime>(ms * kMillisecond); }
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Seconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_COMMON_UNITS_H_

@@ -1,0 +1,104 @@
+// Shared protocol configuration: quorum parameters, timers, the virtual CPU
+// cost model, and test/ablation hooks.
+
+#ifndef HOTSTUFF1_CONSENSUS_CONFIG_H_
+#define HOTSTUFF1_CONSENSUS_CONFIG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hotstuff1 {
+
+/// Virtual CPU costs (microseconds) charged against a replica's simulated
+/// processor. Calibrated so that the no-failure latency/throughput regimes
+/// of §7 appear (see DESIGN.md "Virtual resource model").
+struct CostModel {
+  SimTime sign_us = 12;           // producing one signature share
+  SimTime verify_us = 15;         // verifying one signature
+  SimTime per_message_us = 6;     // parsing/dispatch per received message
+  double per_txn_exec_us = 0.5;   // executing one transaction
+  SimTime propose_base_us = 25;   // assembling a proposal
+
+  SimTime ExecCost(size_t txns) const {
+    return static_cast<SimTime>(per_txn_exec_us * static_cast<double>(txns));
+  }
+};
+
+/// Byzantine behaviours used by the failure experiments (§7.3).
+enum class Fault : uint8_t {
+  kNone = 0,
+  kCrash = 1,
+  /// D6: as leader, delay proposing until the view timer is nearly over.
+  /// Under slotting the incentive flips and the leader proposes promptly
+  /// (the experiment's point), so slotted replicas ignore this flag.
+  kSlowLeader = 2,
+  /// D7: as leader, ignore the previous view's votes/certificate and extend
+  /// the certificate of view v-2, orphaning the previous proposal.
+  kTailFork = 3,
+  /// §7.3 Rollback: as leader, form P(v) but equivocate - send the honest
+  /// extension only to `rollback_victims` correct replicas and a conflicting
+  /// proposal (extending P(v-1)) to everyone else, forcing the victims to
+  /// roll back their speculation. Colluding faulty replicas vote for the
+  /// conflicting branch.
+  kRollbackAttack = 4,
+};
+
+struct AdversarySpec {
+  Fault fault = Fault::kNone;
+  /// For kRollbackAttack: |S|, the number of correct replicas to mislead.
+  uint32_t rollback_victims = 0;
+  /// Faulty replicas vote for any proposal from a faulty leader, bypassing
+  /// safety checks (collusion). Defaults on for Byzantine faults.
+  bool collude = false;
+  /// Shared membership of the adversary's coalition: faulty->at(r) is true
+  /// iff replica r is adversary-controlled. Null for honest replicas.
+  std::shared_ptr<const std::vector<bool>> faulty;
+
+  bool IsByzantine() const {
+    return fault != Fault::kNone && fault != Fault::kCrash;
+  }
+};
+
+struct ConsensusConfig {
+  uint32_t n = 4;
+  uint32_t f = 1;
+  uint32_t batch_size = 100;
+  /// Assumed transmission bound Δ (drives ShareTimer = entry + 3Δ).
+  SimTime delta = Millis(2);
+  /// View timer length τ handed to the pacemaker.
+  SimTime view_timer = Millis(10);
+  CostModel costs;
+
+  /// Slotted HotStuff-1: cap on slots per view; 0 = adaptive (as many as the
+  /// view timer allows, §6.1).
+  uint32_t max_slots_per_view = 0;
+
+  // --- ablation & test hooks -------------------------------------------------
+  /// Disable speculative responses entirely (HotStuff-1 degenerates to
+  /// HotStuff-2 latency; ablation 1 in DESIGN.md).
+  bool speculation_enabled = true;
+  /// Disable the Prefix Speculation rule (Def. 3.1). Test-only: reproduces
+  /// the Appendix A client-safety violations.
+  bool enforce_prefix_rule = true;
+  /// Disable the No-Gap rule (Def. 3.2). Test-only.
+  bool enforce_no_gap_rule = true;
+  /// Disable the trusted-previous-leader fast path (§6.3; ablation 3).
+  bool trusted_leader_enabled = true;
+
+  uint32_t quorum() const { return n - f; }
+
+  /// Standard configuration for n replicas with f = floor((n-1)/3).
+  static ConsensusConfig ForN(uint32_t n) {
+    ConsensusConfig cfg;
+    cfg.n = n;
+    cfg.f = (n - 1) / 3;
+    return cfg;
+  }
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_CONSENSUS_CONFIG_H_

@@ -1,0 +1,9 @@
+#include "consensus/mempool.h"
+
+// Interfaces are header-only; this TU anchors the vtables.
+
+namespace hotstuff1 {
+
+// (intentionally empty)
+
+}  // namespace hotstuff1

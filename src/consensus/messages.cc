@@ -1,0 +1,20 @@
+#include "consensus/messages.h"
+
+namespace hotstuff1 {
+
+const char* MessageTypeName(ConsensusMessage::Type type) {
+  switch (type) {
+    case ConsensusMessage::Type::kPropose: return "Propose";
+    case ConsensusMessage::Type::kVote: return "Vote";
+    case ConsensusMessage::Type::kPrepare: return "Prepare";
+    case ConsensusMessage::Type::kNewView: return "NewView";
+    case ConsensusMessage::Type::kReject: return "Reject";
+    case ConsensusMessage::Type::kWish: return "Wish";
+    case ConsensusMessage::Type::kTimeoutCert: return "TimeoutCert";
+    case ConsensusMessage::Type::kFetchRequest: return "FetchRequest";
+    case ConsensusMessage::Type::kFetchResponse: return "FetchResponse";
+  }
+  return "?";
+}
+
+}  // namespace hotstuff1

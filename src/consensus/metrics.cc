@@ -1,0 +1,5 @@
+#include "consensus/metrics.h"
+
+// Header-only; TU kept for build-system symmetry.
+
+namespace hotstuff1 {}

@@ -1,0 +1,121 @@
+#include "consensus/pacemaker.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+Pacemaker::Pacemaker(sim::Simulator* sim, const KeyRegistry* registry, Signer signer,
+                     uint32_t n, uint32_t f, SimTime tau, SimTime delta, Callbacks cb)
+    : sim_(sim),
+      registry_(registry),
+      signer_(signer),
+      n_(n),
+      f_(f),
+      tau_(tau),
+      delta_(delta),
+      cb_(std::move(cb)) {}
+
+Hash256 Pacemaker::WishDigest(uint64_t view) const {
+  Sha256 ctx;
+  ctx.Update("hs1-wish");
+  ctx.UpdateU64(view);
+  return ctx.Finish();
+}
+
+void Pacemaker::Start() {
+  // Epoch 0 covers views [0, f]; view 0 is the hard-coded genesis slot, so
+  // the first view actually entered is view 1.
+  SynchronizeEpoch(0);
+}
+
+void Pacemaker::CompletedView(uint64_t next_view) {
+  if (next_view % (f_ + 1) != 0) {
+    EnterView(next_view);
+  } else {
+    SynchronizeEpoch(next_view);
+  }
+}
+
+void Pacemaker::SynchronizeEpoch(uint64_t view) {
+  waiting_for_tc_ = true;
+  pending_epoch_view_ = view;
+  auto msg = std::make_shared<WishMsg>(signer_.id());
+  msg->view = view;
+  msg->share = signer_.Sign(SignDomain::kWish, WishDigest(view));
+  for (uint32_t k = 0; k <= f_; ++k) {
+    cb_.send_wish(static_cast<ReplicaId>((view + k) % n_), msg);
+  }
+}
+
+void Pacemaker::OnWish(const WishMsg& msg) {
+  if (!registry_->Verify(msg.share, SignDomain::kWish, WishDigest(msg.view))) {
+    HS1_LOG_WARN() << "pacemaker: invalid wish share from " << msg.sender;
+    return;
+  }
+  WishState& ws = wishes_[msg.view];
+  if (ws.tc_sent) return;
+  if (!ws.signers.insert(msg.share.signer).second) return;
+  ws.sigs.push_back(msg.share);
+  if (ws.signers.size() >= n_ - f_) {
+    ws.tc_sent = true;
+    auto tc = std::make_shared<TimeoutCertMsg>(signer_.id());
+    tc->view = msg.view;
+    tc->sigs = ws.sigs;
+    cb_.broadcast_tc(std::move(tc));
+  }
+}
+
+void Pacemaker::OnTimeoutCert(const TimeoutCertMsg& msg) {
+  if (tc_handled_.count(msg.view)) return;
+  const Status st =
+      registry_->VerifyQuorum(msg.sigs, SignDomain::kWish, WishDigest(msg.view), n_ - f_);
+  if (!st.ok()) {
+    HS1_LOG_WARN() << "pacemaker: bad TC for view " << msg.view << ": " << st;
+    return;
+  }
+  tc_handled_.insert(msg.view);
+
+  // Relay to the epoch's leaders so that a leader that missed the Wish
+  // quorum still learns the certificate (Fig. 3 line 15).
+  auto relay = std::make_shared<TimeoutCertMsg>(signer_.id());
+  relay->view = msg.view;
+  relay->sigs = msg.sigs;
+  for (uint32_t k = 0; k <= f_; ++k) {
+    cb_.send_tc(static_cast<ReplicaId>((msg.view + k) % n_), relay);
+  }
+
+  ScheduleEpochTimers(msg.view, sim_->Now());
+  ++epochs_synchronized_;
+
+  if (msg.view >= pending_epoch_view_) waiting_for_tc_ = false;
+  const uint64_t target = msg.view == 0 ? 1 : msg.view;
+  if (current_view_ < target) EnterView(target);
+}
+
+void Pacemaker::ScheduleEpochTimers(uint64_t first_view, SimTime tc_time) {
+  // StartTime[first + k] = tc_time + k*tau; the start of view v+1 is the
+  // timeout of view v.
+  for (uint32_t k = 0; k <= f_; ++k) {
+    const uint64_t v = first_view + k;
+    sim_->At(tc_time + static_cast<SimTime>(k + 1) * tau_, [this, v]() {
+      // Drive the replica forward until it has left view v; guard against
+      // re-entrancy when the replica is blocked on an epoch boundary.
+      while (current_view_ <= v && !waiting_for_tc_) {
+        const uint64_t stuck = current_view_;
+        cb_.view_timeout(stuck);
+        if (current_view_ == stuck) break;  // replica declined to advance
+      }
+    });
+  }
+}
+
+void Pacemaker::EnterView(uint64_t view) {
+  // A replica that was jumped forward (TC for a later epoch) ignores stale
+  // entry requests.
+  if (view <= current_view_) return;
+  current_view_ = view;
+  entered_at_ = sim_->Now();
+  cb_.enter_view(view);
+}
+
+}  // namespace hotstuff1

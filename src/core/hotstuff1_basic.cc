@@ -1,0 +1,321 @@
+#include "core/hotstuff1_basic.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+HotStuff1BasicReplica::HotStuff1BasicReplica(ReplicaId id,
+                                             const ConsensusConfig& config,
+                                             sim::Network* net,
+                                             const KeyRegistry* registry,
+                                             TransactionSource* source,
+                                             ResponseSink* sink,
+                                             KvState initial_state)
+    : ReplicaBase(id, config, net, registry, source, sink, std::move(initial_state)),
+      high_prepare_(Certificate::Genesis()) {
+  policy_.enabled = config.speculation_enabled;
+  policy_.prefix_rule = config.enforce_prefix_rule;
+  policy_.no_gap_rule = config.enforce_no_gap_rule;
+}
+
+void HotStuff1BasicReplica::UpdateHighPrepare(const Certificate& cert) {
+  if (high_prepare_.block_id() < cert.block_id()) high_prepare_ = cert;
+}
+
+void HotStuff1BasicReplica::OnEnterView(uint64_t v) {
+  while (!state_.empty() && state_.begin()->first < v) state_.erase(state_.begin());
+  while (!pending_proposals_.empty() && pending_proposals_.begin()->first < v) {
+    pending_proposals_.erase(pending_proposals_.begin());
+  }
+  while (!pending_prepares_.empty() && pending_prepares_.begin()->first < v) {
+    pending_prepares_.erase(pending_prepares_.begin());
+  }
+
+  if (v == 1) {
+    // Bootstrap: no view 0 exists; hand L_1 a NewView over genesis.
+    auto nv = std::make_shared<NewViewMsg>(id_);
+    nv->target_view = 1;
+    nv->high_cert = high_prepare_;
+    nv->has_share = false;
+    SendTo(LeaderOf(1), std::move(nv));
+  }
+
+  auto pending = pending_proposals_.find(v);
+  if (pending != pending_proposals_.end()) {
+    auto msg = pending->second;
+    pending_proposals_.erase(pending);
+    HandlePropose(*msg);
+  }
+
+  if (IsLeaderOf(v)) {
+    simulator()->After(3 * config_.delta, [this, v]() {
+      if (crashed_ || view() != v) return;
+      state_[v].share_timer_passed = true;
+      MaybePropose(v);
+    });
+    MaybePropose(v);
+  }
+}
+
+void HotStuff1BasicReplica::OnViewTimeout(uint64_t v) {
+  auto nv = std::make_shared<NewViewMsg>(id_);
+  nv->target_view = v + 1;
+  nv->high_cert = high_prepare_;
+  nv->has_share = false;
+  SendTo(LeaderOf(v + 1), std::move(nv));
+  pacemaker_.CompletedView(v + 1);
+}
+
+void HotStuff1BasicReplica::OnProtocolMessage(const ConsensusMessage& msg) {
+  switch (msg.type) {
+    case ConsensusMessage::Type::kPropose:
+      HandlePropose(static_cast<const ProposeMsg&>(msg));
+      break;
+    case ConsensusMessage::Type::kVote:
+      HandleVote(static_cast<const VoteMsg&>(msg));
+      break;
+    case ConsensusMessage::Type::kPrepare:
+      HandlePrepare(static_cast<const PrepareMsg&>(msg));
+      break;
+    case ConsensusMessage::Type::kNewView:
+      HandleNewView(static_cast<const NewViewMsg&>(msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void HotStuff1BasicReplica::HandleNewView(const NewViewMsg& msg) {
+  const uint64_t tv = msg.target_view;
+  if (LeaderOf(tv) != id_ || tv < view()) return;
+  LeaderViewState& st = state_[tv];
+  if (st.proposed) return;
+  if (!CheckCert(msg.high_cert)) return;
+  UpdateHighPrepare(msg.high_cert);
+  st.senders.insert(msg.sender);
+
+  // Commit shares over P(v-1) aggregate into C(v-1) (Fig. 2 lines 11-12).
+  if (msg.has_share && msg.share_kind == CertKind::kCommit &&
+      msg.voted_id.view + 1 == tv) {
+    if (CheckVote(CertKind::kCommit, msg.voted_id.view, msg.voted_id,
+                  msg.voted_hash, msg.share)) {
+      auto [it, inserted] = st.commit_accs.try_emplace(
+          msg.voted_hash, CertKind::kCommit, msg.voted_id.view, msg.voted_id,
+          msg.voted_hash, config_.quorum());
+      (void)inserted;
+      if (it->second.Add(msg.share)) {
+        Certificate commit_cert = it->second.Build();
+        if (!high_commit_ || high_commit_->block_id() < commit_cert.block_id()) {
+          high_commit_ = std::move(commit_cert);
+        }
+      }
+    }
+  }
+  MaybePropose(tv);
+}
+
+void HotStuff1BasicReplica::MaybePropose(uint64_t v) {
+  if (crashed_ || view() != v || !IsLeaderOf(v)) return;
+  LeaderViewState& st = state_[v];
+  if (st.proposed) return;
+  if (st.senders.size() < config_.quorum()) return;
+  // Fig. 2 line 8: wait for P(v-1) or n NewView messages or ShareTimer(v).
+  const bool have_prev = high_prepare_.block_id().view + 1 == v;
+  if (!(have_prev || st.senders.size() >= config_.n || st.share_timer_passed)) return;
+  Propose(v);
+}
+
+void HotStuff1BasicReplica::Propose(uint64_t v) {
+  LeaderViewState& st = state_[v];
+  st.proposed = true;
+
+  if (adversary_.fault == Fault::kSlowLeader) {
+    const SimTime when = pacemaker_.entered_at() + (pacemaker_.tau() * 3) / 4;
+    simulator()->At(when, [this, v]() {
+      if (crashed_ || view() != v) return;
+      LeaderViewState& s = state_[v];
+      s.proposed = true;
+      const BlockPtr parent = store_.GetOrNull(high_prepare_.block_hash());
+      if (!parent) return;
+      ChargeCpu(config_.costs.propose_base_us);
+      auto block = std::make_shared<Block>(BlockId{v, 1}, parent->hash(),
+                                           parent->height() + 1, id_, DrawBatch());
+      store_.Put(block);
+      RecordJustify(block->hash(), high_prepare_);
+      ++metrics_.blocks_proposed;
+      auto msg = std::make_shared<ProposeMsg>(id_);
+      msg->block = std::move(block);
+      msg->justify = high_prepare_;
+      msg->commit_cert = high_commit_;
+      Broadcast(std::move(msg));
+    });
+    return;
+  }
+
+  const BlockPtr parent = store_.GetOrNull(high_prepare_.block_hash());
+  if (!parent) {
+    st.proposed = false;
+    EnsureBlock(high_prepare_.block_hash(), LeaderOf(high_prepare_.block_id().view));
+    return;
+  }
+  ChargeCpu(config_.costs.propose_base_us);
+  auto block = std::make_shared<Block>(BlockId{v, 1}, parent->hash(),
+                                       parent->height() + 1, id_, DrawBatch());
+  store_.Put(block);
+  RecordJustify(block->hash(), high_prepare_);
+  ++metrics_.blocks_proposed;
+  ++metrics_.slots_proposed;
+
+  auto msg = std::make_shared<ProposeMsg>(id_);
+  msg->block = std::move(block);
+  msg->justify = high_prepare_;
+  msg->commit_cert = high_commit_;
+  Broadcast(std::move(msg));
+}
+
+void HotStuff1BasicReplica::HandlePropose(const ProposeMsg& msg) {
+  ++metrics_.proposals_received;
+  if (!msg.block) return;
+  const uint64_t v = msg.block->view();
+  if (msg.sender != LeaderOf(v)) return;
+  if (!CheckCert(msg.justify)) return;
+  if (msg.block->parent_hash() != msg.justify.block_hash()) return;
+  if (!EnsureBlock(msg.justify.block_hash(), msg.sender)) {
+    pending_proposals_[std::max<uint64_t>(v, view())] =
+        std::make_shared<ProposeMsg>(msg);
+    return;
+  }
+  const BlockPtr parent = store_.GetOrNull(msg.justify.block_hash());
+  if (msg.block->height() != parent->height() + 1) return;
+
+  store_.Put(msg.block);
+  RecordJustify(msg.block->hash(), msg.justify);
+  UpdateHighPrepare(msg.justify);
+
+  // Traditional commit rule (Def. 4.5 / Fig. 2 line 17): the proposal
+  // carries C(x); execute everything up to and including B_x.
+  if (msg.commit_cert && CheckCert(*msg.commit_cert)) {
+    const BlockPtr target = store_.GetOrNull(msg.commit_cert->block_hash());
+    if (target) TryCommit(target);
+  }
+
+  if (v != view()) {
+    if (v > view()) pending_proposals_[v] = std::make_shared<ProposeMsg>(msg);
+    return;
+  }
+  if (voted_view_ >= v) return;
+  if (v <= exited_view_) return;  // exitView(): no voting after timeout
+
+  const bool safe = msg.justify.block_id() == high_prepare_.block_id() &&
+                    msg.justify.block_hash() == high_prepare_.block_hash();
+  const bool collude = adversary_.collude && adversary_.faulty &&
+                       (*adversary_.faulty)[msg.sender];
+  if (!safe && !collude) return;
+
+  voted_view_ = v;
+  ++metrics_.votes_sent;
+  auto vote = std::make_shared<VoteMsg>(id_);
+  vote->vote_kind = CertKind::kPrepare;
+  vote->context_view = v;
+  vote->block_id = msg.block->id();
+  vote->block_hash = msg.block->hash();
+  vote->share = SignVote(CertKind::kPrepare, v, msg.block->id(), msg.block->hash());
+  SendTo(LeaderOf(v), std::move(vote));
+
+  // A Prepare may have raced ahead of the proposal; replay it.
+  auto it = pending_prepares_.find(v);
+  if (it != pending_prepares_.end()) {
+    auto prep = it->second;
+    pending_prepares_.erase(it);
+    HandlePrepare(*prep);
+  }
+}
+
+void HotStuff1BasicReplica::HandleVote(const VoteMsg& msg) {
+  if (msg.vote_kind != CertKind::kPrepare) return;
+  const uint64_t v = msg.block_id.view;
+  if (LeaderOf(v) != id_ || v != view()) return;
+  if (v <= exited_view_) return;  // no late certificate formation
+  LeaderViewState& st = state_[v];
+  if (st.prepared) return;
+  if (!CheckVote(CertKind::kPrepare, v, msg.block_id, msg.block_hash, msg.share)) {
+    return;
+  }
+  if (!st.vote_acc) {
+    st.vote_acc.emplace(CertKind::kPrepare, v, msg.block_id, msg.block_hash,
+                        config_.quorum());
+  }
+  if (st.vote_acc->block_hash() != msg.block_hash) return;
+  if (st.vote_acc->Add(msg.share)) {
+    st.prepared = true;
+    Certificate prepare = st.vote_acc->Build();
+    UpdateHighPrepare(prepare);
+    auto prep = std::make_shared<PrepareMsg>(id_);
+    prep->cert = std::move(prepare);
+    Broadcast(std::move(prep));
+  }
+}
+
+void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
+  const Certificate& cert = msg.cert;
+  const uint64_t v = cert.block_id().view;
+  if (msg.sender != LeaderOf(v)) return;
+  if (!CheckCert(cert)) return;
+
+  const BlockPtr certified = store_.GetOrNull(cert.block_hash());
+  if (!certified) {
+    // Prepare raced ahead of its proposal; buffer until the block arrives.
+    if (v >= view()) pending_prepares_[v] = std::make_shared<PrepareMsg>(msg);
+    return;
+  }
+  UpdateHighPrepare(cert);
+
+  // No-Gap rule for the basic variant (§4.1 footnote): speculation is safe
+  // only when the certificate is formed in the replica's current view for
+  // the current view's proposal.
+  const bool no_gap = v == view();
+  if (config_.enforce_no_gap_rule && v != view() && v + 1 != view()) {
+    // A stale Prepare from an older view carries no other duty for us.
+    return;
+  }
+
+  // Prefix commit rule (Def. 4.6): P(v) extends P(v-1).
+  const Certificate* justify = JustifyOf(certified->hash());
+  if (justify && justify->block_id().view + 1 == v) {
+    const BlockPtr target = store_.GetOrNull(justify->block_hash());
+    if (target) TryCommit(target);
+  }
+
+  const size_t rollbacks_before = ledger_.rollback_events();
+  SpeculationOutcome out = TrySpeculate(&ledger_, store_, certified, no_gap, policy_);
+  if (ledger_.rollback_events() != rollbacks_before) {
+    ++metrics_.rollback_events;
+    metrics_.blocks_rolled_back += out.blocks_rolled_back;
+  }
+  for (const SpeculatedBlock& sb : out.executed) {
+    ++metrics_.blocks_speculated;
+    ChargeCpu(config_.costs.ExecCost(sb.block->txns().size()));
+    RespondToClients(sb.block, sb.results, /*speculative=*/true);
+  }
+
+  // Vote to commit (Fig. 2 lines 28-29) and move to the next view.
+  if (v == view() && v > exited_view_ && commit_voted_view_ < v) {
+    commit_voted_view_ = v;
+    auto nv = std::make_shared<NewViewMsg>(id_);
+    nv->target_view = v + 1;
+    nv->high_cert = high_prepare_;
+    nv->has_share = true;
+    nv->share_kind = CertKind::kCommit;
+    nv->voted_id = certified->id();
+    nv->voted_hash = certified->hash();
+    nv->share = SignVote(CertKind::kCommit, v, certified->id(), certified->hash());
+    SendTo(LeaderOf(v + 1), std::move(nv));
+    ExitToNextView(v);
+  }
+}
+
+void HotStuff1BasicReplica::ExitToNextView(uint64_t v) {
+  pacemaker_.CompletedView(v + 1);
+}
+
+}  // namespace hotstuff1

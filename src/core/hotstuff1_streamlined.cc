@@ -1,0 +1,30 @@
+#include "core/hotstuff1_streamlined.h"
+
+namespace hotstuff1 {
+
+void HotStuff1StreamlinedReplica::ProcessCertificate(const Certificate& justify,
+                                                     const BlockPtr& certified,
+                                                     uint64_t proposal_view) {
+  // Commit rule first (Fig. 4 lines 9-10), so the Prefix Speculation rule
+  // sees the freshest global-ledger state.
+  CommitTwoChain(certified);
+
+  // No-Gap rule (Def. 3.2): the certificate must be from the immediately
+  // preceding view.
+  const bool no_gap = justify.block_id().view + 1 == proposal_view;
+  const size_t rollbacks_before = ledger_.rollback_events();
+  SpeculationOutcome out =
+      TrySpeculate(&ledger_, store_, certified, no_gap, policy_);
+  if (out.blocks_rolled_back > 0 ||
+      ledger_.rollback_events() != rollbacks_before) {
+    ++metrics_.rollback_events;
+    metrics_.blocks_rolled_back += out.blocks_rolled_back;
+  }
+  for (const SpeculatedBlock& sb : out.executed) {
+    ++metrics_.blocks_speculated;
+    ChargeCpu(config_.costs.ExecCost(sb.block->txns().size()));
+    RespondToClients(sb.block, sb.results, /*speculative=*/true);
+  }
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,41 @@
+// Streamlined HotStuff-1 (§5, Fig. 4): the chained skeleton with the prefix
+// commit rule plus one-phase speculation. When a proposal for view v carries
+// P(v-1), replicas speculatively execute B_{v-1} (guarded by the Prefix
+// Speculation and No-Gap rules) and send clients early finality
+// confirmations: 3 half-phases from proposal to speculative response.
+// Clients accept on n-f matching responses (§3).
+
+#ifndef HOTSTUFF1_CORE_HOTSTUFF1_STREAMLINED_H_
+#define HOTSTUFF1_CORE_HOTSTUFF1_STREAMLINED_H_
+
+#include "baselines/hotstuff.h"
+#include "core/speculation.h"
+
+namespace hotstuff1 {
+
+class HotStuff1StreamlinedReplica : public ChainedReplica {
+ public:
+  HotStuff1StreamlinedReplica(ReplicaId id, const ConsensusConfig& config,
+                              sim::Network* net, const KeyRegistry* registry,
+                              TransactionSource* source, ResponseSink* sink,
+                              KvState initial_state)
+      : ChainedReplica(id, config, net, registry, source, sink,
+                       std::move(initial_state)) {
+    policy_.enabled = config.speculation_enabled;
+    policy_.prefix_rule = config.enforce_prefix_rule;
+    policy_.no_gap_rule = config.enforce_no_gap_rule;
+  }
+
+  const char* Name() const override { return "HotStuff-1"; }
+
+ protected:
+  void ProcessCertificate(const Certificate& justify, const BlockPtr& certified,
+                          uint64_t proposal_view) override;
+
+ private:
+  SpeculationPolicy policy_;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_CORE_HOTSTUFF1_STREAMLINED_H_

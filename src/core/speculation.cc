@@ -1,0 +1,69 @@
+#include "core/speculation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+SpeculationOutcome TrySpeculate(Ledger* ledger, const BlockStore& store,
+                                const BlockPtr& certified, bool no_gap_satisfied,
+                                const SpeculationPolicy& policy) {
+  SpeculationOutcome out;
+  if (!policy.enabled) return out;
+  if (policy.no_gap_rule && !no_gap_satisfied) return out;
+  if (ledger->IsCommitted(certified->hash()) || ledger->IsSpeculated(certified->hash())) {
+    return out;
+  }
+
+  // Build the execution unit: the certified block plus, walking down, any
+  // carried uncommitted ancestors ("uncertified carry blocks ... are viewed
+  // as a part of the first-slot blocks", §6.1). Under the relaxed test-only
+  // policy, arbitrary uncommitted ancestors are admitted (this is exactly
+  // the unsafe behaviour of Appendix A).
+  std::vector<BlockPtr> unit{certified};
+  BlockPtr parent = store.GetOrNull(certified->parent_hash());
+  while (parent != nullptr && !ledger->IsCommitted(parent->hash()) &&
+         !ledger->IsSpeculated(parent->hash())) {
+    const bool is_carry_of_child = unit.back()->carry_hash() == parent->hash();
+    if (policy.prefix_rule && !is_carry_of_child) {
+      // Predecessor is neither committed nor part of the carry unit: the
+      // Prefix Speculation rule forbids executing this block.
+      return out;
+    }
+    unit.push_back(parent);
+    parent = store.GetOrNull(parent->parent_hash());
+  }
+  if (parent == nullptr) return out;  // gap in the chain: cannot execute
+  std::reverse(unit.begin(), unit.end());
+
+  // The anchor (parent of the unit) must be on the local ledger: committed
+  // on the winning chain, or an earlier speculation.
+  const Hash256 anchor = parent->hash();
+  if (ledger->IsCommitted(anchor)) {
+    if (parent->hash() != ledger->committed_tip()->hash()) {
+      // A different block is already committed at the certified block's
+      // height; executing it would fork the committed prefix. Refuse.
+      return out;
+    }
+    // Conflict rollback (Def. 4.7): clear any speculation that diverges.
+    if (ledger->spec_tip()->hash() != anchor) {
+      out.blocks_rolled_back = ledger->RollbackTo(anchor);
+    }
+  } else if (ledger->IsSpeculated(anchor)) {
+    if (ledger->spec_tip()->hash() != anchor) {
+      out.blocks_rolled_back = ledger->RollbackTo(anchor);
+    }
+  } else {
+    return out;  // anchor unknown to the local ledger
+  }
+
+  out.executed.reserve(unit.size());
+  for (const BlockPtr& b : unit) {
+    out.executed.push_back(SpeculatedBlock{b, ledger->Speculate(b)});
+  }
+  out.speculated = true;
+  return out;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,51 @@
+#include "ledger/block.h"
+
+namespace hotstuff1 {
+
+Block::Block(BlockId id, Hash256 parent_hash, uint64_t height, ReplicaId proposer,
+             std::vector<Transaction> txns, Hash256 carry_hash)
+    : id_(id),
+      parent_hash_(parent_hash),
+      height_(height),
+      proposer_(proposer),
+      txns_(std::move(txns)),
+      carry_hash_(carry_hash) {
+  Sha256 ctx;
+  ctx.Update("hs1-block");
+  ctx.UpdateU64(id_.view);
+  ctx.UpdateU64(id_.slot);
+  ctx.Update(parent_hash_);
+  ctx.UpdateU64(height_);
+  ctx.UpdateU64(proposer_);
+  ctx.Update(carry_hash_);
+  ctx.UpdateU64(txns_.size());
+  for (const Transaction& t : txns_) {
+    ctx.UpdateU64(t.id);
+    ctx.UpdateU64(t.ops.size());
+    for (const TxnOp& op : t.ops) {
+      ctx.UpdateU64(static_cast<uint64_t>(op.kind));
+      ctx.UpdateU64(op.key);
+      ctx.UpdateU64(op.value);
+    }
+  }
+  hash_ = ctx.Finish();
+}
+
+size_t Block::WireSize() const {
+  size_t size = 96;  // header: ids, hashes, proposer
+  for (const Transaction& t : txns_) size += t.WireSize();
+  return size;
+}
+
+BlockPtr Block::Genesis() {
+  static const BlockPtr kGenesis = std::make_shared<Block>(
+      BlockId{0, 0}, Hash256{}, /*height=*/0, /*proposer=*/0,
+      std::vector<Transaction>{});
+  return kGenesis;
+}
+
+std::string Block::ToString() const {
+  return id_.ToString() + "@h" + std::to_string(height_) + " " + hash_.Short();
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,75 @@
+#include "ledger/kv_state.h"
+
+namespace hotstuff1 {
+
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) for result folding and fingerprints.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t KvState::ApplyOp(const TxnOp& op, UndoLog* undo) {
+  switch (op.kind) {
+    case TxnOp::Kind::kRead:
+      return Get(op.key);
+    case TxnOp::Kind::kWrite: {
+      auto it = map_.find(op.key);
+      if (undo) {
+        undo->push_back(UndoEntry{op.key, it == map_.end() ? 0 : it->second,
+                                  it != map_.end()});
+      }
+      if (it == map_.end()) {
+        map_.emplace(op.key, op.value);
+      } else {
+        it->second = op.value;
+      }
+      return op.value;
+    }
+    case TxnOp::Kind::kReadModifyWrite: {
+      auto it = map_.find(op.key);
+      const uint64_t old = it == map_.end() ? 0 : it->second;
+      if (undo) undo->push_back(UndoEntry{op.key, old, it != map_.end()});
+      const uint64_t updated = old + op.value;
+      if (it == map_.end()) {
+        map_.emplace(op.key, updated);
+      } else {
+        it->second = updated;
+      }
+      return updated;
+    }
+  }
+  return 0;
+}
+
+uint64_t KvState::ApplyTxn(const Transaction& txn, UndoLog* undo) {
+  uint64_t result = Mix(txn.id);
+  for (const TxnOp& op : txn.ops) {
+    result = Mix(result ^ ApplyOp(op, undo));
+  }
+  return result;
+}
+
+void KvState::Undo(const UndoLog& log) {
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    if (it->existed) {
+      map_[it->key] = it->old_value;
+    } else {
+      map_.erase(it->key);
+    }
+  }
+}
+
+uint64_t KvState::Fingerprint() const {
+  uint64_t fp = 0;
+  for (const auto& [k, v] : map_) {
+    fp ^= Mix(Mix(k) ^ v);  // XOR-fold: order independent
+  }
+  return fp;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,61 @@
+// The replicated state machine: a key-value store with undo-log support so
+// speculative execution can be rolled back (§3, Rollback; §4.2).
+
+#ifndef HOTSTUFF1_LEDGER_KV_STATE_H_
+#define HOTSTUFF1_LEDGER_KV_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace hotstuff1 {
+
+class KvState {
+ public:
+  struct UndoEntry {
+    uint64_t key;
+    uint64_t old_value;
+    bool existed;
+  };
+  /// Undo records in application order; Undo() replays them in reverse.
+  using UndoLog = std::vector<UndoEntry>;
+
+  void Reserve(size_t n) { map_.reserve(n); }
+
+  /// Returns the value for `key`, or 0 when absent (fresh records read as 0).
+  uint64_t Get(uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  bool Contains(uint64_t key) const { return map_.count(key) > 0; }
+  size_t size() const { return map_.size(); }
+
+  /// Applies one operation; appends an undo record for mutations if `undo`
+  /// is non-null. Returns the operation result (read value / written value).
+  uint64_t ApplyOp(const TxnOp& op, UndoLog* undo);
+
+  /// Applies every op of `txn`; returns a deterministic result folding all
+  /// op results (what replicas return to the client, and what clients match
+  /// across the response quorum).
+  uint64_t ApplyTxn(const Transaction& txn, UndoLog* undo);
+
+  /// Reverts the mutations recorded in `log` (reverse order).
+  void Undo(const UndoLog& log);
+
+  /// Direct write used by workload loaders (no undo).
+  void Put(uint64_t key, uint64_t value) { map_[key] = value; }
+
+  /// Order-insensitive fingerprint of the full state; equal states have
+  /// equal fingerprints. Used by tests to compare replicas.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> map_;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_LEDGER_KV_STATE_H_

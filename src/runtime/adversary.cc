@@ -1,0 +1,32 @@
+#include "runtime/adversary.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1 {
+
+AdversarySpec AdversaryPlan::SpecFor(ReplicaId r) const {
+  AdversarySpec spec;
+  if (!faulty_mask || !(*faulty_mask)[r]) return spec;
+  spec.fault = fault;
+  spec.collude = fault != Fault::kNone && fault != Fault::kCrash;
+  spec.faulty = faulty_mask;
+  spec.rollback_victims = rollback_victims;
+  return spec;
+}
+
+AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
+                                uint32_t rollback_victims) {
+  HS1_CHECK_LT(count, n);
+  AdversaryPlan plan;
+  plan.fault = fault;
+  plan.rollback_victims = rollback_victims;
+  auto mask = std::make_shared<std::vector<bool>>(n, false);
+  for (uint32_t i = 1; i <= count && i < n; ++i) {
+    plan.members.push_back(i);
+    (*mask)[i] = true;
+  }
+  plan.faulty_mask = std::move(mask);
+  return plan;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,35 @@
+// Helpers for placing Byzantine/crash faults across a replica set.
+
+#ifndef HOTSTUFF1_RUNTIME_ADVERSARY_H_
+#define HOTSTUFF1_RUNTIME_ADVERSARY_H_
+
+#include <memory>
+#include <vector>
+
+#include "consensus/config.h"
+#include "crypto/signer.h"  // ReplicaId
+
+namespace hotstuff1 {
+
+/// Fault placement for an experiment: which replicas are adversarial and
+/// what they do.
+struct AdversaryPlan {
+  Fault fault = Fault::kNone;
+  /// Faulty replica ids (contiguous from 1 by default, so that round-robin
+  /// leadership hits them every rotation).
+  std::vector<ReplicaId> members;
+  std::shared_ptr<const std::vector<bool>> faulty_mask;
+  uint32_t rollback_victims = 0;
+
+  /// Per-replica spec (kNone for honest replicas).
+  AdversarySpec SpecFor(ReplicaId r) const;
+};
+
+/// Builds a plan with `count` faulty replicas of behaviour `fault`, placed
+/// at ids 1..count (id 0 stays honest as the measurement observer).
+AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
+                                uint32_t rollback_victims = 0);
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_ADVERSARY_H_

@@ -1,0 +1,222 @@
+#include "runtime/experiment.h"
+
+#include "baselines/hotstuff.h"
+#include "baselines/hotstuff2.h"
+#include "common/logging.h"
+#include "core/hotstuff1_basic.h"
+#include "core/hotstuff1_slotted.h"
+#include "core/hotstuff1_streamlined.h"
+
+namespace hotstuff1 {
+
+const char* ProtocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kHotStuff: return "HotStuff";
+    case ProtocolKind::kHotStuff2: return "HotStuff-2";
+    case ProtocolKind::kHotStuff1Basic: return "HotStuff-1 (basic)";
+    case ProtocolKind::kHotStuff1: return "HotStuff-1";
+    case ProtocolKind::kHotStuff1Slotted: return "HotStuff-1 (slotting)";
+  }
+  return "?";
+}
+
+bool IsSpeculative(ProtocolKind kind) {
+  return kind == ProtocolKind::kHotStuff1Basic || kind == ProtocolKind::kHotStuff1 ||
+         kind == ProtocolKind::kHotStuff1Slotted;
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+Experiment::~Experiment() = default;
+
+std::unique_ptr<ReplicaBase> Experiment::MakeReplica(ReplicaId id,
+                                                     const ConsensusConfig& cc,
+                                                     KvState state) {
+  switch (config_.protocol) {
+    case ProtocolKind::kHotStuff:
+      return std::make_unique<HotStuffReplica>(id, cc, net_.get(), registry_.get(),
+                                               clients_.get(), clients_.get(),
+                                               std::move(state));
+    case ProtocolKind::kHotStuff2:
+      return std::make_unique<HotStuff2Replica>(id, cc, net_.get(), registry_.get(),
+                                                clients_.get(), clients_.get(),
+                                                std::move(state));
+    case ProtocolKind::kHotStuff1Basic:
+      return std::make_unique<HotStuff1BasicReplica>(id, cc, net_.get(),
+                                                     registry_.get(), clients_.get(),
+                                                     clients_.get(), std::move(state));
+    case ProtocolKind::kHotStuff1:
+      return std::make_unique<HotStuff1StreamlinedReplica>(
+          id, cc, net_.get(), registry_.get(), clients_.get(), clients_.get(),
+          std::move(state));
+    case ProtocolKind::kHotStuff1Slotted:
+      return std::make_unique<HotStuff1SlottedReplica>(
+          id, cc, net_.get(), registry_.get(), clients_.get(), clients_.get(),
+          std::move(state));
+  }
+  return nullptr;
+}
+
+void Experiment::Setup() {
+  if (setup_done_) return;
+  setup_done_ = true;
+  const uint32_t n = config_.n;
+  if (config_.topology.n == 0) config_.topology = sim::Topology::Lan(n);
+  HS1_CHECK_EQ(config_.topology.n, n);
+
+  sim_ = std::make_unique<sim::Simulator>();
+  sim::NetworkConfig net_cfg;
+  net_cfg.bandwidth_bytes_per_us = config_.bandwidth_bytes_per_us;
+  net_cfg.seed = config_.seed;
+  net_ = std::make_unique<sim::Network>(sim_.get(), n, net_cfg);
+  config_.topology.Apply(net_.get());
+
+  // Fig. 9 delay injection: the last `num_impaired` replicas are impacted.
+  for (uint32_t i = 0; i < config_.num_impaired && i < n; ++i) {
+    net_->ImpairNode(n - 1 - i, config_.inject_delay);
+  }
+
+  registry_ = std::make_unique<KeyRegistry>(n, config_.seed ^ 0x5e17c0defeedULL);
+
+  if (config_.workload == WorkloadKind::kYcsb) {
+    workload_ = std::make_unique<YcsbWorkload>(config_.ycsb);
+  } else {
+    workload_ = std::make_unique<TpccWorkload>(config_.tpcc);
+  }
+
+  // Clients sit in `client_region`; their delay to each replica follows the
+  // topology's inter-region latency.
+  std::vector<SimTime> client_lat(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    client_lat[r] =
+        config_.topology.region_latency[config_.client_region]
+                                       [config_.topology.region_of[r]];
+  }
+  // Fig. 9 semantics: delays are injected on *all* traffic to and from the
+  // impacted replicas, including client requests and responses.
+  for (uint32_t i = 0; i < config_.num_impaired && i < n; ++i) {
+    client_lat[n - 1 - i] += config_.inject_delay;
+  }
+  ClientPoolConfig cp;
+  cp.num_clients =
+      config_.num_clients > 0 ? config_.num_clients : 8 * config_.batch_size;
+  const uint32_t f = (n - 1) / 3;
+  cp.quorum_commit = f + 1;
+  cp.quorum_speculative =
+      (IsSpeculative(config_.protocol) && config_.speculation_enabled) ? n - f : 0;
+  cp.resubmit_timeout = std::max<SimTime>(Millis(100), 8 * config_.view_timer);
+  cp.seed = config_.seed * 1000003 + 17;
+  cp.track_accepted = config_.track_accepted;
+  clients_ = std::make_unique<ClientPool>(sim_.get(), workload_.get(), cp,
+                                          std::move(client_lat));
+
+  ConsensusConfig cc = ConsensusConfig::ForN(n);
+  cc.batch_size = config_.batch_size;
+  cc.delta = config_.delta;
+  cc.view_timer = config_.view_timer;
+  cc.costs = config_.costs;
+  cc.max_slots_per_view = config_.max_slots;
+  cc.speculation_enabled = config_.speculation_enabled;
+  cc.trusted_leader_enabled = config_.trusted_leader_enabled;
+
+  plan_ = MakeAdversaryPlan(n, config_.fault, config_.num_faulty,
+                            config_.rollback_victims);
+
+  replicas_.reserve(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    KvState state;  // lazy materialization: absent keys read as zero
+    state.Reserve(1 << 16);
+    replicas_.push_back(MakeReplica(id, cc, std::move(state)));
+    const AdversarySpec spec = plan_.SpecFor(id);
+    if (spec.fault == Fault::kCrash) {
+      net_->Crash(id);
+      replicas_.back()->SetCrashed();
+    } else if (spec.fault != Fault::kNone) {
+      replicas_.back()->SetAdversary(spec);
+    }
+  }
+}
+
+ExperimentResult Experiment::Run() {
+  Setup();
+  for (auto& r : replicas_) {
+    if (!r->crashed()) r->Start();
+  }
+  clients_->Start();
+
+  sim_->RunUntil(config_.warmup);
+  clients_->ResetStats();
+  const uint64_t committed_before = replicas_[0]->metrics().txns_committed;
+  const uint64_t views_before = replicas_[0]->metrics().views_entered;
+
+  sim_->RunUntil(config_.warmup + config_.duration);
+
+  ExperimentResult res;
+  res.protocol = ProtocolName(config_.protocol);
+  res.accepted = clients_->accepted();
+  res.accepted_speculative = clients_->accepted_speculative();
+  res.resubmissions = clients_->resubmissions();
+  res.throughput_tps =
+      static_cast<double>(res.accepted) / ToSeconds(config_.duration);
+  res.avg_latency_ms = clients_->latencies().AvgMs();
+  res.p50_latency_ms = clients_->latencies().PercentileMs(0.50);
+  res.p99_latency_ms = clients_->latencies().PercentileMs(0.99);
+  res.committed_blocks = replicas_[0]->metrics().blocks_committed;
+  res.committed_txns = replicas_[0]->metrics().txns_committed - committed_before;
+  res.views = replicas_[0]->metrics().views_entered - views_before;
+  res.messages_sent = net_->messages_sent();
+  res.bytes_sent = net_->bytes_sent();
+  for (uint32_t id = 0; id < config_.n; ++id) {
+    const auto& m = replicas_[id]->metrics();
+    res.slots += m.slots_proposed;
+    res.timeouts += m.timeouts;
+    res.rejects += m.rejects_sent;
+    if (!plan_.faulty_mask || !(*plan_.faulty_mask)[id]) {
+      res.rollback_events += m.rollback_events;
+      res.blocks_rolled_back += m.blocks_rolled_back;
+    }
+  }
+  res.safety_ok = CheckSafety();
+  return res;
+}
+
+bool Experiment::CheckSafety() const {
+  // Theorem B.5: committed blocks at equal positions agree across correct
+  // replicas.
+  const std::vector<BlockPtr>* reference = nullptr;
+  for (uint32_t id = 0; id < config_.n; ++id) {
+    if (replicas_[id]->crashed()) continue;
+    if (plan_.faulty_mask && (*plan_.faulty_mask)[id]) continue;
+    const auto& chain = replicas_[id]->ledger().committed_chain();
+    if (reference == nullptr) {
+      reference = &chain;
+      continue;
+    }
+    const size_t common = std::min(reference->size(), chain.size());
+    for (size_t h = 0; h < common; ++h) {
+      if ((*reference)[h]->hash() != chain[h]->hash()) return false;
+    }
+  }
+  return true;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  Experiment exp(config);
+  return exp.Run();
+}
+
+ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
+  ExperimentConfig sat = config;
+  if (sat.num_clients == 0) sat.num_clients = 8 * sat.batch_size;
+  ExperimentResult result = RunExperiment(sat);
+
+  ExperimentConfig light = config;
+  light.num_clients = std::max<uint32_t>(16, config.batch_size);
+  const ExperimentResult lat = RunExperiment(light);
+  result.avg_latency_ms = lat.avg_latency_ms;
+  result.p50_latency_ms = lat.p50_latency_ms;
+  result.p99_latency_ms = lat.p99_latency_ms;
+  result.safety_ok = result.safety_ok && lat.safety_ok;
+  return result;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,146 @@
+// The experiment runner: wires simulator, network, topology, workload,
+// clients, replicas and faults; runs for a virtual duration; collects the
+// metrics the paper reports (throughput, client latency) plus safety
+// diagnostics.
+
+#ifndef HOTSTUFF1_RUNTIME_EXPERIMENT_H_
+#define HOTSTUFF1_RUNTIME_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_pool.h"
+#include "consensus/replica.h"
+#include "runtime/adversary.h"
+#include "sim/topology.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace hotstuff1 {
+
+enum class ProtocolKind {
+  kHotStuff = 0,
+  kHotStuff2 = 1,
+  kHotStuff1Basic = 2,
+  kHotStuff1 = 3,         // streamlined
+  kHotStuff1Slotted = 4,  // streamlined + slotting
+};
+
+const char* ProtocolName(ProtocolKind kind);
+bool IsSpeculative(ProtocolKind kind);
+
+enum class WorkloadKind { kYcsb = 0, kTpcc = 1 };
+
+struct ExperimentConfig {
+  ProtocolKind protocol = ProtocolKind::kHotStuff1;
+  uint32_t n = 32;
+  uint32_t batch_size = 100;
+  sim::Topology topology;     // defaults to LAN(n) when empty
+  uint32_t client_region = 0; // clients' region (paper: North Virginia)
+
+  SimTime duration = Seconds(3);
+  SimTime warmup = Millis(500);
+  SimTime view_timer = Millis(10);
+  SimTime delta = Millis(2);
+  uint32_t max_slots = 0;
+
+  WorkloadKind workload = WorkloadKind::kYcsb;
+  YcsbConfig ycsb;
+  TpccConfig tpcc;
+  uint32_t num_clients = 0;  // 0 -> 8 * batch_size
+  uint64_t seed = 1;
+
+  // Faults (Fig. 10).
+  Fault fault = Fault::kNone;
+  uint32_t num_faulty = 0;
+  uint32_t rollback_victims = 0;
+
+  // Message-delay injection (Fig. 9): extra one-way delay on traffic to or
+  // from the last `num_impaired` replicas.
+  SimTime inject_delay = 0;
+  uint32_t num_impaired = 0;
+
+  // Ablation hooks.
+  bool speculation_enabled = true;
+  bool trusted_leader_enabled = true;
+  // Test hook: record accepted (txn, block) pairs in the client pool.
+  bool track_accepted = false;
+
+  CostModel costs;
+  double bandwidth_bytes_per_us = 2000.0;
+};
+
+struct ExperimentResult {
+  std::string protocol;
+  double throughput_tps = 0;
+  double avg_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  uint64_t accepted = 0;
+  uint64_t accepted_speculative = 0;
+  uint64_t resubmissions = 0;
+  uint64_t committed_blocks = 0;  // at observer replica 0
+  uint64_t committed_txns = 0;
+  uint64_t views = 0;             // views entered at observer
+  uint64_t slots = 0;             // total slots proposed (all replicas)
+  uint64_t timeouts = 0;
+  uint64_t rollback_events = 0;   // across correct replicas
+  uint64_t blocks_rolled_back = 0;
+  uint64_t rejects = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  bool safety_ok = true;  // committed prefixes agree across correct replicas
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  /// Builds the whole system (callable once; Run() calls it lazily).
+  void Setup();
+
+  /// Runs warmup + measurement and returns the collected result.
+  ExperimentResult Run();
+
+  // --- test access ------------------------------------------------------------
+  sim::Simulator& simulator() { return *sim_; }
+  sim::Network& network() { return *net_; }
+  ClientPool& clients() { return *clients_; }
+  const KeyRegistry& registry() const { return *registry_; }
+  std::vector<std::unique_ptr<ReplicaBase>>& replicas() { return replicas_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Committed-prefix agreement across correct replicas (Theorem B.5 check).
+  bool CheckSafety() const;
+
+ private:
+  std::unique_ptr<ReplicaBase> MakeReplica(ReplicaId id, const ConsensusConfig& cc,
+                                           KvState state);
+
+  ExperimentConfig config_;
+  bool setup_done_ = false;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<KeyRegistry> registry_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<ClientPool> clients_;
+  AdversaryPlan plan_;
+  std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+};
+
+/// Convenience: run one configuration and return the result.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Reproduces one figure data point the way the paper measures (§7 Metrics):
+/// *throughput* is the saturated maximum (deep closed-loop client pool),
+/// while *client latency* is measured at a light operating point (one batch
+/// of transactions in flight), where queueing does not mask the protocols'
+/// phase-count differences. Returns the saturation result with its latency
+/// fields replaced by the light-load measurements.
+ExperimentResult RunPaperPoint(const ExperimentConfig& config);
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_EXPERIMENT_H_

@@ -1,0 +1,64 @@
+#include "runtime/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+
+namespace hotstuff1 {
+
+void ReportTable::Print(std::ostream& os) const {
+  os << "\n== " << caption_ << " ==\n";
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) rule += std::string(widths[c] + 2, '-');
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string FormatTps(double tps) {
+  char buf[32];
+  if (tps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", tps / 1e6);
+  } else if (tps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", tps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", tps);
+  }
+  return buf;
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ms / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t v) { return std::to_string(v); }
+
+SimTime BenchDuration(double default_ms) {
+  if (const char* env = std::getenv("H1_DURATION_MS")) {
+    const double ms = std::atof(env);
+    if (ms > 0) return Millis(ms);
+  }
+  return Millis(default_ms);
+}
+
+}  // namespace hotstuff1

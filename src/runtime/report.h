@@ -1,0 +1,40 @@
+// Plain-text table printing for the figure-reproduction benches.
+
+#ifndef HOTSTUFF1_RUNTIME_REPORT_H_
+#define HOTSTUFF1_RUNTIME_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hotstuff1 {
+
+/// \brief Aligned text table with a caption, printed like the paper's
+/// figure series (one row per x-axis point, one column per protocol).
+class ReportTable {
+ public:
+  ReportTable(std::string caption, std::vector<std::string> columns)
+      : caption_(std::move(caption)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatTps(double tps);
+std::string FormatMs(double ms);
+std::string FormatCount(uint64_t v);
+
+/// Virtual measurement duration for benches: H1_DURATION_MS env override,
+/// else `default_ms`.
+SimTime BenchDuration(double default_ms = 2000.0);
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_REPORT_H_

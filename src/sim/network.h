@@ -1,0 +1,136 @@
+// Simulated point-to-point network with authenticated-channel semantics,
+// replacing the paper's NNG/TCP mesh across AWS machines.
+//
+// Resource model (what the paper's experiments actually measure):
+//   * one-way latency matrix          -> geo topologies, Fig. 8(e-h), 9(e,j)
+//   * per-node egress bandwidth       -> O(n) broadcast cost, batching limits
+//   * per-node CPU busy-time          -> signature/exec compute-bound regimes
+//   * per-node injected delay         -> Fig. 9(a-d,f-i) delay experiments
+//   * crash / drop / partition rules  -> failure experiments and tests
+
+#ifndef HOTSTUFF1_SIM_NETWORK_H_
+#define HOTSTUFF1_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace hotstuff1::sim {
+
+using NodeId = uint32_t;
+
+/// Base class for anything sent over the simulated wire. WireSize feeds the
+/// bandwidth model; subclasses report header + payload estimates.
+struct NetMessage {
+  virtual ~NetMessage() = default;
+  virtual size_t WireSize() const { return 64; }
+};
+
+using NetMessagePtr = std::shared_ptr<const NetMessage>;
+
+struct NetworkConfig {
+  /// Egress bandwidth per node, in bytes per microsecond (2000 = 2 GB/s).
+  double bandwidth_bytes_per_us = 2000.0;
+  /// Latency for self-delivery (leader processing its own proposal).
+  SimTime loopback_latency = 1;
+  /// Default one-way latency between distinct nodes (overridden per-pair).
+  SimTime default_latency = Millis(0.4);
+  /// Multiplicative jitter: actual = latency * (1 + U[0,jitter_frac)).
+  double jitter_frac = 0.0;
+  uint64_t seed = 1;
+};
+
+/// A generic fault rule; applies to messages with from_match[from] and
+/// to_match[to] set.
+struct FaultRule {
+  std::vector<bool> from_match;
+  std::vector<bool> to_match;
+  SimTime extra_delay = 0;
+  double drop_prob = 0.0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, const NetMessagePtr& msg)>;
+
+  Network(Simulator* sim, uint32_t n, NetworkConfig config = {});
+
+  uint32_t num_nodes() const { return n_; }
+  Simulator* simulator() const { return sim_; }
+
+  // --- wiring ---------------------------------------------------------------
+  void SetHandler(NodeId id, Handler handler);
+
+  // --- latency configuration -------------------------------------------------
+  void SetLatency(NodeId from, NodeId to, SimTime one_way);
+  void SetSymmetricLatency(NodeId a, NodeId b, SimTime one_way);
+  void SetAllLatencies(SimTime one_way);
+  SimTime latency(NodeId from, NodeId to) const { return latency_[from][to]; }
+
+  // --- sending ---------------------------------------------------------------
+  void Send(NodeId from, NodeId to, NetMessagePtr msg);
+  /// Sends to every node; `include_self` self-delivers at loopback latency
+  /// without consuming egress bandwidth.
+  void Broadcast(NodeId from, const NetMessagePtr& msg, bool include_self = true);
+
+  // --- faults ---------------------------------------------------------------
+  /// Adds `extra_delay` to every message into or out of `id` (Fig. 9 setup).
+  void ImpairNode(NodeId id, SimTime extra_delay);
+  void ClearImpairments();
+  /// Generic rule; returns an id for RemoveRule.
+  int AddRule(FaultRule rule);
+  void RemoveRule(int rule_id);
+  void Crash(NodeId id);
+  void Recover(NodeId id);
+  bool IsCrashed(NodeId id) const { return crashed_[id]; }
+
+  // --- virtual CPU -----------------------------------------------------------
+  /// Accounts `cost` of compute at node `id`, starting no earlier than now.
+  /// Deliveries to a busy node are deferred until the CPU frees up.
+  void ConsumeCpu(NodeId id, SimTime cost);
+  SimTime CpuBusyUntil(NodeId id) const { return cpu_busy_until_[id]; }
+
+  // --- stats -----------------------------------------------------------------
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  void DeliverLater(NodeId from, NodeId to, NetMessagePtr msg, SimTime arrival);
+  void TryDeliver(NodeId from, NodeId to, const NetMessagePtr& msg);
+  void ScheduleDrain(NodeId to);
+  void Drain(NodeId to);
+
+  Simulator* sim_;
+  uint32_t n_;
+  NetworkConfig config_;
+  Rng rng_;
+
+  std::vector<Handler> handlers_;
+  std::vector<std::vector<SimTime>> latency_;
+  std::vector<SimTime> node_extra_delay_;
+  std::vector<SimTime> egress_busy_until_;
+  std::vector<SimTime> cpu_busy_until_;
+  std::vector<bool> crashed_;
+  // Per-node ingress queue: messages that arrived while the node's CPU was
+  // busy wait here in FIFO order and drain as the CPU frees up.
+  std::vector<std::deque<std::pair<NodeId, NetMessagePtr>>> ingress_;
+  std::vector<bool> drain_scheduled_;
+  std::vector<std::pair<int, FaultRule>> rules_;
+  int next_rule_id_ = 0;
+
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace hotstuff1::sim
+
+#endif  // HOTSTUFF1_SIM_NETWORK_H_

@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1::sim {
+
+void Simulator::At(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty() || events_processed_ >= event_cap_) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  HS1_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++events_processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t && events_processed_ < event_cap_) {
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+}  // namespace hotstuff1::sim

@@ -1,0 +1,72 @@
+// Deterministic discrete-event simulator. All protocol activity is ordered
+// by (virtual time, insertion sequence), so a run is a pure function of
+// (configuration, seed).
+
+#ifndef HOTSTUFF1_SIM_SIMULATOR_H_
+#define HOTSTUFF1_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hotstuff1::sim {
+
+/// \brief Virtual-clock event loop.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `t` (clamped to now).
+  void At(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` from now.
+  void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  /// Executes the next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void RunUntil(SimTime t);
+
+  /// Runs until no events remain (or the event cap is hit).
+  void Run();
+
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.size(); }
+  uint64_t EventsProcessed() const { return events_processed_; }
+
+  /// Safety valve against runaway event storms in buggy configurations.
+  void SetEventCap(uint64_t cap) { event_cap_ = cap; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  uint64_t event_cap_ = UINT64_MAX;
+};
+
+}  // namespace hotstuff1::sim
+
+#endif  // HOTSTUFF1_SIM_SIMULATOR_H_

@@ -1,0 +1,88 @@
+#include "sim/topology.h"
+
+#include "common/logging.h"
+
+namespace hotstuff1::sim {
+
+namespace {
+
+constexpr SimTime kIntraRegion = Millis(0.4);
+
+// One-way latencies (ms) between the paper's five regions, derived from
+// public inter-AWS-region RTT measurements (RTT/2, rounded).
+constexpr double kRegionMs[5][5] = {
+    // NV     HK     LDN    SP     ZRH
+    {0.4, 100.0, 38.0, 58.0, 45.0},   // North Virginia
+    {100.0, 0.4, 90.0, 150.0, 92.0},  // Hong Kong
+    {38.0, 90.0, 0.4, 95.0, 8.0},     // London
+    {58.0, 150.0, 95.0, 0.4, 102.0},  // Sao Paulo
+    {45.0, 92.0, 8.0, 102.0, 0.4},    // Zurich
+};
+
+}  // namespace
+
+void Topology::Apply(Network* net) const {
+  HS1_CHECK_EQ(net->num_nodes(), n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      net->SetLatency(a, b, OneWay(a, b));
+    }
+  }
+}
+
+Topology Topology::Lan(uint32_t n, SimTime one_way) {
+  Topology t;
+  t.n = n;
+  t.region_of.assign(n, 0);
+  t.region_latency = {{one_way}};
+  return t;
+}
+
+Topology Topology::Geo(uint32_t n, uint32_t num_regions) {
+  HS1_CHECK_GE(num_regions, 1u);
+  HS1_CHECK_LE(num_regions, 5u);
+  Topology t;
+  t.n = n;
+  t.region_of.resize(n);
+  for (uint32_t i = 0; i < n; ++i) t.region_of[i] = i % num_regions;
+  t.region_latency.assign(num_regions, std::vector<SimTime>(num_regions));
+  for (uint32_t a = 0; a < num_regions; ++a) {
+    for (uint32_t b = 0; b < num_regions; ++b) {
+      t.region_latency[a][b] = (a == b) ? kIntraRegion : RegionOneWay(a, b);
+    }
+  }
+  return t;
+}
+
+Topology Topology::TwoRegion(uint32_t n, uint32_t k_london) {
+  HS1_CHECK_LE(k_london, n);
+  Topology t;
+  t.n = n;
+  t.region_of.resize(n);
+  // Nodes [0, n-k) in North Virginia (region index 0), [n-k, n) in London
+  // (region index 1).
+  for (uint32_t i = 0; i < n; ++i) t.region_of[i] = (i < n - k_london) ? 0 : 1;
+  const SimTime x = RegionOneWay(kNorthVirginia, kLondon);
+  t.region_latency = {{kIntraRegion, x}, {x, kIntraRegion}};
+  return t;
+}
+
+SimTime Topology::RegionOneWay(uint32_t a, uint32_t b) {
+  HS1_CHECK_LT(a, 5u);
+  HS1_CHECK_LT(b, 5u);
+  return Millis(kRegionMs[a][b]);
+}
+
+std::string Topology::RegionName(uint32_t region) {
+  switch (region) {
+    case kNorthVirginia: return "North Virginia";
+    case kHongKong: return "Hong Kong";
+    case kLondon: return "London";
+    case kSaoPaulo: return "Sao Paulo";
+    case kZurich: return "Zurich";
+  }
+  return "unknown";
+}
+
+}  // namespace hotstuff1::sim

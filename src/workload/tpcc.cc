@@ -1,0 +1,96 @@
+#include "workload/tpcc.h"
+
+namespace hotstuff1 {
+
+uint64_t TpccKey(TpccTable table, uint32_t w, uint32_t d, uint64_t index) {
+  return (static_cast<uint64_t>(table) << 56) | (static_cast<uint64_t>(w) << 40) |
+         (static_cast<uint64_t>(d) << 32) | (index & 0xffffffffULL);
+}
+
+TpccWorkload::TpccWorkload(TpccConfig config) : config_(config) {}
+
+uint64_t TpccWorkload::RecordCount() const {
+  return static_cast<uint64_t>(config_.num_warehouses) *
+         (1 + config_.districts_per_warehouse +
+          config_.districts_per_warehouse * config_.customers_per_district +
+          config_.stock_per_warehouse);
+}
+
+void TpccWorkload::Load(KvState* state) const {
+  state->Reserve(RecordCount());
+  for (uint32_t w = 0; w < config_.num_warehouses; ++w) {
+    state->Put(TpccKey(TpccTable::kWarehouse, w, 0, 0), 0);  // w_ytd
+    for (uint32_t d = 0; d < config_.districts_per_warehouse; ++d) {
+      state->Put(TpccKey(TpccTable::kDistrict, w, d, 0), 1);  // d_next_o_id
+      for (uint32_t c = 0; c < config_.customers_per_district; ++c) {
+        state->Put(TpccKey(TpccTable::kCustomer, w, d, c), 0);  // c_balance
+      }
+    }
+    for (uint32_t i = 0; i < config_.stock_per_warehouse; ++i) {
+      state->Put(TpccKey(TpccTable::kStock, w, 0, i), 100);  // s_quantity
+    }
+  }
+}
+
+Transaction TpccWorkload::Generate(Rng* rng) const {
+  if (rng->NextDouble() < config_.new_order_fraction) return NewOrder(rng);
+  return Payment(rng);
+}
+
+Transaction TpccWorkload::NewOrder(Rng* rng) const {
+  const uint32_t w = static_cast<uint32_t>(rng->NextBounded(config_.num_warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng->NextBounded(config_.districts_per_warehouse));
+  const uint32_t c =
+      static_cast<uint32_t>(rng->NextBounded(config_.customers_per_district));
+  const uint32_t lines = static_cast<uint32_t>(
+      rng->NextInRange(config_.min_order_lines, config_.max_order_lines));
+
+  Transaction txn;
+  txn.ops.reserve(4 + 2 * lines);
+  // Read warehouse tax, customer discount; bump the district's next order id.
+  txn.ops.push_back({TxnOp::Kind::kRead, TpccKey(TpccTable::kWarehouse, w, 0, 0), 0});
+  txn.ops.push_back({TxnOp::Kind::kRead, TpccKey(TpccTable::kCustomer, w, d, c), 0});
+  txn.ops.push_back(
+      {TxnOp::Kind::kReadModifyWrite, TpccKey(TpccTable::kDistrict, w, d, 0), 1});
+  // Order row keyed by a random order id (the consensus layer orders
+  // transactions; uniqueness of the id is not load-bearing here).
+  const uint64_t order_id = rng->NextU64() & 0xffffffffULL;
+  txn.ops.push_back({TxnOp::Kind::kWrite, TpccKey(TpccTable::kOrder, w, d, order_id),
+                     (static_cast<uint64_t>(c) << 8) | lines});
+  for (uint32_t l = 0; l < lines; ++l) {
+    const uint64_t item = rng->NextBounded(config_.stock_per_warehouse);
+    const uint64_t qty = 1 + rng->NextBounded(10);
+    // Decrement stock (RMW with wrap-around semantics of unsigned add).
+    txn.ops.push_back({TxnOp::Kind::kReadModifyWrite,
+                       TpccKey(TpccTable::kStock, w, 0, item),
+                       static_cast<uint64_t>(-static_cast<int64_t>(qty))});
+    txn.ops.push_back({TxnOp::Kind::kWrite,
+                       TpccKey(TpccTable::kOrderLine, w, d, (order_id << 4) | l),
+                       (item << 8) | qty});
+  }
+  txn.payload_bytes = 64;  // order entry form
+  return txn;
+}
+
+Transaction TpccWorkload::Payment(Rng* rng) const {
+  const uint32_t w = static_cast<uint32_t>(rng->NextBounded(config_.num_warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng->NextBounded(config_.districts_per_warehouse));
+  const uint32_t c =
+      static_cast<uint32_t>(rng->NextBounded(config_.customers_per_district));
+  const uint64_t amount = 1 + rng->NextBounded(5000);
+
+  Transaction txn;
+  txn.ops.reserve(3);
+  txn.ops.push_back(
+      {TxnOp::Kind::kReadModifyWrite, TpccKey(TpccTable::kWarehouse, w, 0, 0), amount});
+  txn.ops.push_back(
+      {TxnOp::Kind::kReadModifyWrite, TpccKey(TpccTable::kDistrict, w, d, 1), amount});
+  txn.ops.push_back(
+      {TxnOp::Kind::kReadModifyWrite, TpccKey(TpccTable::kCustomer, w, d, c), amount});
+  txn.payload_bytes = 32;
+  return txn;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,33 @@
+// Workload interface: generates client transactions against the replicated
+// KV state machine.
+
+#ifndef HOTSTUFF1_WORKLOAD_WORKLOAD_H_
+#define HOTSTUFF1_WORKLOAD_WORKLOAD_H_
+
+#include "common/random.h"
+#include "ledger/block.h"
+#include "ledger/kv_state.h"
+
+namespace hotstuff1 {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Total records in the logical database (key-space size).
+  virtual uint64_t RecordCount() const = 0;
+
+  /// Optionally pre-materializes records. Absent keys read as zero, so
+  /// loading is semantically optional; tests use it to check read paths.
+  virtual void Load(KvState* state) const = 0;
+
+  /// Generates one transaction (ops + payload size); id and submit_time are
+  /// assigned by the caller.
+  virtual Transaction Generate(Rng* rng) const = 0;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_WORKLOAD_WORKLOAD_H_

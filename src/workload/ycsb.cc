@@ -1,0 +1,39 @@
+#include "workload/ycsb.h"
+
+namespace hotstuff1 {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config) : config_(config) {
+  if (config_.zipf_theta > 0) {
+    zipf_ = std::make_unique<ZipfianGenerator>(config_.num_records, config_.zipf_theta);
+  }
+}
+
+void YcsbWorkload::Load(KvState* state) const {
+  state->Reserve(config_.num_records);
+  for (uint64_t k = 0; k < config_.num_records; ++k) state->Put(k, k + 1);
+}
+
+uint64_t YcsbWorkload::NextKey(Rng* rng) const {
+  if (zipf_) return zipf_->Next(rng);
+  return rng->NextBounded(config_.num_records);
+}
+
+Transaction YcsbWorkload::Generate(Rng* rng) const {
+  Transaction txn;
+  txn.payload_bytes = config_.payload_bytes;
+  txn.ops.reserve(config_.ops_per_txn);
+  for (uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    TxnOp op;
+    op.key = NextKey(rng);
+    if (rng->NextDouble() < config_.write_fraction) {
+      op.kind = TxnOp::Kind::kWrite;
+      op.value = rng->NextU64();
+    } else {
+      op.kind = TxnOp::Kind::kRead;
+    }
+    txn.ops.push_back(op);
+  }
+  return txn;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,170 @@
+// The experiment runner itself: configuration plumbing, warmup windowing,
+// RunPaperPoint semantics, topologies, safety checking, and the report
+// formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/experiment.h"
+#include "runtime/report.h"
+
+namespace hotstuff1 {
+namespace {
+
+TEST(ExperimentTest, ProtocolNamesAndSpeculativeness) {
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kHotStuff), "HotStuff");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kHotStuff2), "HotStuff-2");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kHotStuff1), "HotStuff-1");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kHotStuff1Basic), "HotStuff-1 (basic)");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kHotStuff1Slotted),
+               "HotStuff-1 (slotting)");
+  EXPECT_FALSE(IsSpeculative(ProtocolKind::kHotStuff));
+  EXPECT_FALSE(IsSpeculative(ProtocolKind::kHotStuff2));
+  EXPECT_TRUE(IsSpeculative(ProtocolKind::kHotStuff1Basic));
+  EXPECT_TRUE(IsSpeculative(ProtocolKind::kHotStuff1));
+  EXPECT_TRUE(IsSpeculative(ProtocolKind::kHotStuff1Slotted));
+}
+
+ExperimentConfig Tiny() {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kHotStuff1;
+  cfg.n = 4;
+  cfg.batch_size = 10;
+  cfg.duration = Millis(200);
+  cfg.warmup = Millis(100);
+  cfg.num_clients = 60;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ExperimentTest, WarmupExcludedFromWindow) {
+  // Doubling the warmup must not change throughput materially (steady
+  // state), while total accepted counts only the measurement window.
+  ExperimentConfig a = Tiny();
+  ExperimentConfig b = Tiny();
+  b.warmup = Millis(200);
+  const auto ra = RunExperiment(a);
+  const auto rb = RunExperiment(b);
+  EXPECT_NEAR(ra.throughput_tps, rb.throughput_tps, ra.throughput_tps * 0.15);
+}
+
+TEST(ExperimentTest, ThroughputMatchesAcceptedOverDuration) {
+  const auto res = RunExperiment(Tiny());
+  EXPECT_DOUBLE_EQ(res.throughput_tps,
+                   static_cast<double>(res.accepted) / 0.2);
+}
+
+TEST(ExperimentTest, ReplicaCommitsTrackClientAccepts) {
+  Experiment exp(Tiny());
+  const auto res = exp.Run();
+  // Replica-side committed txns (window) and client accepts agree within
+  // the pipeline tail.
+  EXPECT_NEAR(static_cast<double>(res.committed_txns),
+              static_cast<double>(res.accepted), 60.0);
+}
+
+TEST(ExperimentTest, PaperPointUsesLightLoadLatency) {
+  const ExperimentConfig cfg = Tiny();
+  const auto sat = RunExperiment(cfg);
+  const auto pp = RunPaperPoint(cfg);
+  // Same saturated throughput...
+  EXPECT_NEAR(pp.throughput_tps, sat.throughput_tps, sat.throughput_tps * 0.25);
+  // ...but latency measured without queueing, hence lower.
+  EXPECT_LT(pp.avg_latency_ms, sat.avg_latency_ms);
+}
+
+TEST(ExperimentTest, DefaultTopologyIsLan) {
+  Experiment exp(Tiny());
+  exp.Setup();
+  EXPECT_EQ(exp.network().latency(0, 1), Millis(0.4));
+}
+
+TEST(ExperimentTest, GeoTopologyAppliedToNetwork) {
+  ExperimentConfig cfg = Tiny();
+  cfg.topology = sim::Topology::Geo(4, 2);
+  Experiment exp(cfg);
+  exp.Setup();
+  EXPECT_EQ(exp.network().latency(0, 1), Millis(100));  // NV <-> HK
+  EXPECT_EQ(exp.network().latency(0, 2), Millis(0.4));  // both NV
+}
+
+TEST(ExperimentTest, ImpairmentAppliedToLastReplicas) {
+  ExperimentConfig cfg = Tiny();
+  cfg.inject_delay = Millis(5);
+  cfg.num_impaired = 2;
+  cfg.view_timer = Millis(40);
+  cfg.delta = Millis(6);
+  const auto res = RunExperiment(cfg);
+  EXPECT_TRUE(res.safety_ok);
+  EXPECT_GT(res.accepted, 10u);
+}
+
+TEST(ExperimentTest, CrashFaultMarksReplicas) {
+  ExperimentConfig cfg = Tiny();
+  cfg.fault = Fault::kCrash;
+  cfg.num_faulty = 1;
+  cfg.view_timer = Millis(6);
+  cfg.delta = Millis(1);
+  Experiment exp(cfg);
+  exp.Setup();
+  EXPECT_TRUE(exp.replicas()[1]->crashed());
+  EXPECT_FALSE(exp.replicas()[0]->crashed());
+  EXPECT_TRUE(exp.network().IsCrashed(1));
+}
+
+TEST(ExperimentTest, AdversaryPlanPlacement) {
+  AdversaryPlan plan = MakeAdversaryPlan(7, Fault::kTailFork, 2, 3);
+  EXPECT_EQ(plan.members, (std::vector<ReplicaId>{1, 2}));
+  EXPECT_FALSE((*plan.faulty_mask)[0]);  // observer stays honest
+  EXPECT_TRUE((*plan.faulty_mask)[1]);
+  const AdversarySpec honest = plan.SpecFor(0);
+  EXPECT_EQ(honest.fault, Fault::kNone);
+  const AdversarySpec bad = plan.SpecFor(2);
+  EXPECT_EQ(bad.fault, Fault::kTailFork);
+  EXPECT_TRUE(bad.collude);
+  EXPECT_EQ(bad.rollback_victims, 3u);
+}
+
+TEST(ExperimentTest, SafetyCheckerDetectsForgedDivergence) {
+  // CheckSafety compares committed chains; sanity check that it passes on
+  // a healthy run (divergence construction is covered by the EXPECT_DEATH
+  // ledger tests, since a correct replica refuses conflicting commits).
+  Experiment exp(Tiny());
+  exp.Run();
+  EXPECT_TRUE(exp.CheckSafety());
+}
+
+// --- report helpers --------------------------------------------------------------
+
+TEST(ReportTest, TableFormatsAligned) {
+  ReportTable t("Caption", {"col1", "column2"});
+  t.AddRow({"a", "bbbb"});
+  t.AddRow({"cccccc", "d"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Caption =="), std::string::npos);
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("cccccc"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatTps(123), "123");
+  EXPECT_EQ(FormatTps(4500), "4.5k");
+  EXPECT_EQ(FormatTps(1'230'000), "1.23M");
+  EXPECT_EQ(FormatMs(3.5), "3.50ms");
+  EXPECT_EQ(FormatMs(1500), "1.50s");
+  EXPECT_EQ(FormatCount(42), "42");
+}
+
+TEST(ReportTest, BenchDurationEnvOverride) {
+  unsetenv("H1_DURATION_MS");
+  EXPECT_EQ(BenchDuration(1000), Millis(1000));
+  setenv("H1_DURATION_MS", "250", 1);
+  EXPECT_EQ(BenchDuration(1000), Millis(250));
+  unsetenv("H1_DURATION_MS");
+}
+
+}  // namespace
+}  // namespace hotstuff1

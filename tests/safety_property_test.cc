@@ -1,0 +1,148 @@
+// Property sweeps: safety (Thm. B.5), client safety (Cor. B.10), liveness
+// (Thm. B.8) and state-machine agreement across protocols x faults x seeds.
+// Determinism of the simulator makes every failure reproducible from its
+// parameter tuple.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "runtime/experiment.h"
+
+namespace hotstuff1 {
+namespace {
+
+using SweepParam = std::tuple<ProtocolKind, Fault, uint64_t /*seed*/>;
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto [kind, fault, seed] = info.param;
+  std::string name;
+  switch (kind) {
+    case ProtocolKind::kHotStuff: name = "HotStuff"; break;
+    case ProtocolKind::kHotStuff2: name = "HotStuff2"; break;
+    case ProtocolKind::kHotStuff1Basic: name = "Basic"; break;
+    case ProtocolKind::kHotStuff1: name = "HS1"; break;
+    case ProtocolKind::kHotStuff1Slotted: name = "Slotted"; break;
+  }
+  switch (fault) {
+    case Fault::kNone: name += "_NoFault"; break;
+    case Fault::kCrash: name += "_Crash"; break;
+    case Fault::kSlowLeader: name += "_Slow"; break;
+    case Fault::kTailFork: name += "_TailFork"; break;
+    case Fault::kRollbackAttack: name += "_Rollback"; break;
+  }
+  return name + "_s" + std::to_string(seed);
+}
+
+class SafetySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SafetySweep, SafetyAndClientSafetyHold) {
+  const auto [kind, fault, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.n = 7;  // f = 2
+  cfg.batch_size = 10;
+  cfg.duration = Millis(500);
+  cfg.warmup = Millis(100);
+  cfg.num_clients = 120;
+  cfg.view_timer = Millis(8);
+  cfg.fault = fault;
+  cfg.num_faulty = fault == Fault::kNone ? 0 : 2;
+  cfg.rollback_victims = 2;
+  cfg.seed = seed;
+  cfg.track_accepted = true;
+
+  Experiment exp(cfg);
+  const ExperimentResult res = exp.Run();
+
+  // Theorem B.5 (safety): equal-position committed blocks agree.
+  EXPECT_TRUE(res.safety_ok);
+
+  // Theorem B.8 (liveness): with at most f faulty replicas, correct
+  // replicas keep committing.
+  EXPECT_GT(res.accepted, 20u);
+
+  // Corollary B.10 (client safety): every block accepted by a client
+  // (speculatively or not) is committed by some correct replica, modulo the
+  // in-flight tail at the end of the run.
+  const SimTime cutoff = cfg.warmup + cfg.duration - Millis(150);
+  for (const auto& rec : exp.clients().accepted_records()) {
+    if (rec.time > cutoff) continue;
+    bool committed = false;
+    for (const auto& r : exp.replicas()) {
+      if (r->ledger().IsCommitted(rec.block_hash)) {
+        committed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(committed) << "block " << rec.block_hash.Short()
+                           << " accepted but never committed";
+    if (!committed) break;
+  }
+
+  // State-machine agreement: identical committed prefixes imply identical
+  // re-executed states.
+  size_t min_len = SIZE_MAX;
+  for (uint32_t id = 0; id < cfg.n; ++id) {
+    if (id >= 1 && id <= cfg.num_faulty && fault != Fault::kNone) continue;
+    min_len = std::min(min_len,
+                       exp.replicas()[id]->ledger().committed_chain().size());
+  }
+  ASSERT_GT(min_len, 1u);
+  uint64_t reference_fp = 0;
+  bool first = true;
+  for (uint32_t id = 0; id < cfg.n; ++id) {
+    if (id >= 1 && id <= cfg.num_faulty && fault != Fault::kNone) continue;
+    KvState kv;
+    const auto& chain = exp.replicas()[id]->ledger().committed_chain();
+    for (size_t h = 1; h < min_len; ++h) {
+      for (const Transaction& t : chain[h]->txns()) kv.ApplyTxn(t, nullptr);
+    }
+    if (first) {
+      reference_fp = kv.Fingerprint();
+      first = false;
+    } else {
+      EXPECT_EQ(kv.Fingerprint(), reference_fp) << "replica " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SafetySweep,
+    ::testing::Combine(
+        ::testing::Values(ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2,
+                          ProtocolKind::kHotStuff1Basic, ProtocolKind::kHotStuff1,
+                          ProtocolKind::kHotStuff1Slotted),
+        ::testing::Values(Fault::kNone, Fault::kCrash, Fault::kSlowLeader,
+                          Fault::kTailFork, Fault::kRollbackAttack),
+        ::testing::Values(1u, 2u, 3u)),
+    ParamName);
+
+// Randomized delay jitter: message timing noise must never affect safety.
+class JitterSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JitterSweep, SafetyUnderNetworkJitter) {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kHotStuff1;
+  cfg.n = 4;
+  cfg.batch_size = 10;
+  cfg.duration = Millis(400);
+  cfg.warmup = Millis(100);
+  cfg.num_clients = 80;
+  cfg.seed = GetParam();
+  cfg.inject_delay = Millis(GetParam() % 7);  // varying impairment
+  cfg.num_impaired = GetParam() % 3;
+  // Liveness needs the view timer above ShareTimer (3Δ) plus a delayed
+  // proposal round trip; scale it with the injected delay.
+  cfg.delta = Millis(1);
+  cfg.view_timer = Millis(10) + 3 * cfg.inject_delay;
+  const auto res = RunExperiment(cfg);
+  EXPECT_TRUE(res.safety_ok);
+  EXPECT_GT(res.accepted, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterSweep,
+                         ::testing::Range<uint64_t>(10, 20));
+
+}  // namespace
+}  // namespace hotstuff1

@@ -1,0 +1,193 @@
+// YCSB and TPC-C workload generators: shape, determinism, database sizing,
+// and execution against the KV state machine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ledger/kv_state.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace hotstuff1 {
+namespace {
+
+// --- YCSB -----------------------------------------------------------------------
+
+TEST(YcsbTest, DefaultsMatchPaper) {
+  YcsbWorkload w;
+  EXPECT_STREQ(w.Name(), "YCSB");
+  EXPECT_EQ(w.RecordCount(), 600'000u);  // §7: 600k records
+}
+
+TEST(YcsbTest, GeneratesWritesInKeyRange) {
+  YcsbWorkload w;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Transaction t = w.Generate(&rng);
+    ASSERT_EQ(t.ops.size(), 1u);
+    EXPECT_EQ(t.ops[0].kind, TxnOp::Kind::kWrite);
+    EXPECT_LT(t.ops[0].key, 600'000u);
+  }
+}
+
+TEST(YcsbTest, WireSizeIsSmallKvWrite) {
+  YcsbWorkload w;
+  Rng rng(2);
+  const Transaction t = w.Generate(&rng);
+  EXPECT_EQ(t.WireSize(), 64u);  // calibrated wire size (DESIGN.md)
+}
+
+TEST(YcsbTest, DeterministicGivenRngState) {
+  YcsbWorkload w;
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    const Transaction ta = w.Generate(&a);
+    const Transaction tb = w.Generate(&b);
+    EXPECT_EQ(ta.ops[0].key, tb.ops[0].key);
+    EXPECT_EQ(ta.ops[0].value, tb.ops[0].value);
+  }
+}
+
+TEST(YcsbTest, MixedReadWriteFraction) {
+  YcsbConfig cfg;
+  cfg.write_fraction = 0.5;
+  cfg.ops_per_txn = 4;
+  YcsbWorkload w(cfg);
+  Rng rng(3);
+  int reads = 0, writes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    for (const TxnOp& op : w.Generate(&rng).ops) {
+      (op.kind == TxnOp::Kind::kRead ? reads : writes)++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / (reads + writes), 0.5, 0.05);
+}
+
+TEST(YcsbTest, ZipfianSkewsAccess) {
+  YcsbConfig cfg;
+  cfg.zipf_theta = 0.99;
+  YcsbWorkload w(cfg);
+  Rng rng(4);
+  uint64_t hot = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (w.Generate(&rng).ops[0].key < 6000) ++hot;  // hottest 1%
+  }
+  EXPECT_GT(hot, 20000u * 25 / 100);
+}
+
+TEST(YcsbTest, LoadMaterializesRecords) {
+  YcsbConfig cfg;
+  cfg.num_records = 1000;
+  YcsbWorkload w(cfg);
+  KvState kv;
+  w.Load(&kv);
+  EXPECT_EQ(kv.size(), 1000u);
+  EXPECT_EQ(kv.Get(0), 1u);
+  EXPECT_EQ(kv.Get(999), 1000u);
+}
+
+// --- TPC-C ----------------------------------------------------------------------
+
+TEST(TpccTest, DatabaseSizeMatchesPaper) {
+  TpccWorkload w;
+  // §7: "database of 260k records".
+  EXPECT_EQ(w.RecordCount(), 260'220u);
+  EXPECT_STREQ(w.Name(), "TPC-C");
+}
+
+TEST(TpccTest, LoadMatchesRecordCount) {
+  TpccConfig cfg;
+  cfg.num_warehouses = 2;
+  cfg.stock_per_warehouse = 100;
+  cfg.customers_per_district = 10;
+  TpccWorkload w(cfg);
+  KvState kv;
+  w.Load(&kv);
+  EXPECT_EQ(kv.size(), w.RecordCount());
+}
+
+TEST(TpccTest, KeyEncodingIsInjectiveAcrossTables) {
+  std::set<uint64_t> keys;
+  for (auto table : {TpccTable::kWarehouse, TpccTable::kDistrict,
+                     TpccTable::kCustomer, TpccTable::kStock}) {
+    for (uint32_t w = 0; w < 3; ++w) {
+      for (uint32_t d = 0; d < 3; ++d) {
+        for (uint64_t i = 0; i < 3; ++i) {
+          EXPECT_TRUE(keys.insert(TpccKey(table, w, d, i)).second);
+        }
+      }
+    }
+  }
+}
+
+TEST(TpccTest, NewOrderShape) {
+  TpccConfig cfg;
+  cfg.new_order_fraction = 1.0;
+  TpccWorkload w(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Transaction t = w.Generate(&rng);
+    // 3 header ops + 1 order row + 2 per line, 5..15 lines.
+    EXPECT_GE(t.ops.size(), 4u + 2 * cfg.min_order_lines);
+    EXPECT_LE(t.ops.size(), 4u + 2 * cfg.max_order_lines);
+    EXPECT_EQ(t.ops[2].kind, TxnOp::Kind::kReadModifyWrite);  // d_next_o_id
+  }
+}
+
+TEST(TpccTest, PaymentShape) {
+  TpccConfig cfg;
+  cfg.new_order_fraction = 0.0;
+  TpccWorkload w(cfg);
+  Rng rng(6);
+  const Transaction t = w.Generate(&rng);
+  ASSERT_EQ(t.ops.size(), 3u);
+  for (const TxnOp& op : t.ops) {
+    EXPECT_EQ(op.kind, TxnOp::Kind::kReadModifyWrite);
+  }
+}
+
+TEST(TpccTest, PaymentMovesMoneyConsistently) {
+  TpccConfig cfg;
+  cfg.new_order_fraction = 0.0;
+  cfg.num_warehouses = 1;
+  TpccWorkload w(cfg);
+  KvState kv;
+  w.Load(&kv);
+  Rng rng(7);
+  uint64_t paid = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Transaction t = w.Generate(&rng);
+    paid += t.ops[0].value;  // warehouse ytd delta
+    kv.ApplyTxn(t, nullptr);
+  }
+  EXPECT_EQ(kv.Get(TpccKey(TpccTable::kWarehouse, 0, 0, 0)), paid);
+}
+
+TEST(TpccTest, NewOrderAdvancesDistrictCounter) {
+  TpccConfig cfg;
+  cfg.new_order_fraction = 1.0;
+  cfg.num_warehouses = 1;
+  cfg.districts_per_warehouse = 1;
+  TpccWorkload w(cfg);
+  KvState kv;
+  w.Load(&kv);
+  Rng rng(8);
+  const uint64_t key = TpccKey(TpccTable::kDistrict, 0, 0, 0);
+  const uint64_t before = kv.Get(key);
+  for (int i = 0; i < 10; ++i) kv.ApplyTxn(w.Generate(&rng), nullptr);
+  EXPECT_EQ(kv.Get(key), before + 10);
+}
+
+TEST(TpccTest, MixFractionRespected) {
+  TpccWorkload w;  // 50/50
+  Rng rng(9);
+  int new_orders = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (w.Generate(&rng).ops.size() > 3) ++new_orders;
+  }
+  EXPECT_NEAR(new_orders, 1000, 100);
+}
+
+}  // namespace
+}  // namespace hotstuff1

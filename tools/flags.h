@@ -1,0 +1,65 @@
+// Minimal command-line flag parsing for the tools (no external deps).
+
+#ifndef HOTSTUFF1_TOOLS_FLAGS_H_
+#define HOTSTUFF1_TOOLS_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hotstuff1::tools {
+
+/// Parses `--key=value` and `--flag` arguments; everything else is a
+/// positional argument.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          values_[arg.substr(2)] = "true";
+        } else {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key, bool def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hotstuff1::tools
+
+#endif  // HOTSTUFF1_TOOLS_FLAGS_H_

@@ -1,0 +1,135 @@
+// hs1sim: command-line driver for the HotStuff-1 simulation harness.
+//
+// Examples:
+//   hs1sim --protocol=hotstuff1 --n=32 --batch=100 --duration_ms=2000
+//   hs1sim --protocol=slotted --n=31 --fault=slow --faulty=10 --timer_ms=100
+//   hs1sim --protocol=hotstuff2 --workload=tpcc --regions=3 --paper_point
+//
+// Prints a one-line machine-friendly summary plus a human-readable block.
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/experiment.h"
+#include "tools/flags.h"
+
+namespace hotstuff1 {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(hs1sim - HotStuff-1 reproduction driver
+
+  --protocol=hotstuff|hotstuff2|basic|hotstuff1|slotted   (default hotstuff1)
+  --n=<replicas>                (default 32)
+  --batch=<txns per block>      (default 100)
+  --duration_ms=<virtual ms>    (default 2000)
+  --warmup_ms=<virtual ms>      (default 300)
+  --timer_ms=<view timer>       (default 10)
+  --delta_ms=<assumed bound>    (default 1)
+  --workload=ycsb|tpcc          (default ycsb)
+  --regions=<1..5>              geo deployment (default 1 = LAN)
+  --fault=none|crash|slow|tailfork|rollback
+  --faulty=<count>              (default 0)
+  --victims=<rollback victims>  (default f)
+  --inject_delay_ms=<ms> --impaired=<k>   Fig. 9 style delay injection
+  --clients=<count>             (default 8*batch)
+  --max_slots=<k>               slotted: cap slots/view (0 = adaptive)
+  --no_speculation              disable speculative responses
+  --no_trusted_leader           disable the §6.3 fast path
+  --seed=<u64>                  (default 1)
+  --paper_point                 throughput at saturation + light-load latency
+)");
+  return 2;
+}
+
+int RunMain(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  if (flags.Has("help")) return Usage();
+
+  ExperimentConfig cfg;
+  const std::string proto = flags.GetString("protocol", "hotstuff1");
+  if (proto == "hotstuff") {
+    cfg.protocol = ProtocolKind::kHotStuff;
+  } else if (proto == "hotstuff2") {
+    cfg.protocol = ProtocolKind::kHotStuff2;
+  } else if (proto == "basic") {
+    cfg.protocol = ProtocolKind::kHotStuff1Basic;
+  } else if (proto == "hotstuff1") {
+    cfg.protocol = ProtocolKind::kHotStuff1;
+  } else if (proto == "slotted") {
+    cfg.protocol = ProtocolKind::kHotStuff1Slotted;
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", proto.c_str());
+    return Usage();
+  }
+
+  cfg.n = static_cast<uint32_t>(flags.GetInt("n", 32));
+  cfg.batch_size = static_cast<uint32_t>(flags.GetInt("batch", 100));
+  cfg.duration = Millis(flags.GetDouble("duration_ms", 2000));
+  cfg.warmup = Millis(flags.GetDouble("warmup_ms", 300));
+  cfg.view_timer = Millis(flags.GetDouble("timer_ms", 10));
+  cfg.delta = Millis(flags.GetDouble("delta_ms", 1));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  cfg.num_clients = static_cast<uint32_t>(flags.GetInt("clients", 0));
+  cfg.max_slots = static_cast<uint32_t>(flags.GetInt("max_slots", 0));
+  cfg.speculation_enabled = !flags.GetBool("no_speculation", false);
+  cfg.trusted_leader_enabled = !flags.GetBool("no_trusted_leader", false);
+  cfg.inject_delay = Millis(flags.GetDouble("inject_delay_ms", 0));
+  cfg.num_impaired = static_cast<uint32_t>(flags.GetInt("impaired", 0));
+
+  const std::string workload = flags.GetString("workload", "ycsb");
+  cfg.workload = workload == "tpcc" ? WorkloadKind::kTpcc : WorkloadKind::kYcsb;
+
+  const uint32_t regions = static_cast<uint32_t>(flags.GetInt("regions", 1));
+  if (regions > 1) {
+    cfg.topology = sim::Topology::Geo(cfg.n, regions);
+    if (!flags.Has("timer_ms")) cfg.view_timer = Millis(1200);
+    if (!flags.Has("delta_ms")) cfg.delta = Millis(160);
+  }
+
+  const std::string fault = flags.GetString("fault", "none");
+  if (fault == "crash") cfg.fault = Fault::kCrash;
+  if (fault == "slow") cfg.fault = Fault::kSlowLeader;
+  if (fault == "tailfork") cfg.fault = Fault::kTailFork;
+  if (fault == "rollback") cfg.fault = Fault::kRollbackAttack;
+  cfg.num_faulty = static_cast<uint32_t>(flags.GetInt("faulty", 0));
+  cfg.rollback_victims =
+      static_cast<uint32_t>(flags.GetInt("victims", (cfg.n - 1) / 3));
+
+  const ExperimentResult res = flags.GetBool("paper_point", false)
+                                   ? RunPaperPoint(cfg)
+                                   : RunExperiment(cfg);
+
+  // Machine-friendly line first.
+  std::printf(
+      "RESULT protocol=\"%s\" n=%u batch=%u tput_tps=%.0f lat_avg_ms=%.3f "
+      "lat_p50_ms=%.3f lat_p99_ms=%.3f accepted=%llu spec=%llu views=%llu "
+      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d\n",
+      res.protocol.c_str(), cfg.n, cfg.batch_size, res.throughput_tps,
+      res.avg_latency_ms, res.p50_latency_ms, res.p99_latency_ms,
+      static_cast<unsigned long long>(res.accepted),
+      static_cast<unsigned long long>(res.accepted_speculative),
+      static_cast<unsigned long long>(res.views),
+      static_cast<unsigned long long>(res.slots),
+      static_cast<unsigned long long>(res.timeouts),
+      static_cast<unsigned long long>(res.rollback_events),
+      static_cast<unsigned long long>(res.resubmissions), res.safety_ok ? 1 : 0);
+
+  std::printf("\n%s, n=%u (f=%u), batch=%u, %s%s\n", res.protocol.c_str(), cfg.n,
+              (cfg.n - 1) / 3, cfg.batch_size, workload.c_str(),
+              regions > 1 ? (", " + std::to_string(regions) + " regions").c_str()
+                          : "");
+  std::printf("  throughput   %10.0f txn/s\n", res.throughput_tps);
+  std::printf("  latency      %10.2f ms avg, %.2f ms p99\n", res.avg_latency_ms,
+              res.p99_latency_ms);
+  std::printf("  speculative  %10llu of %llu accepts\n",
+              static_cast<unsigned long long>(res.accepted_speculative),
+              static_cast<unsigned long long>(res.accepted));
+  std::printf("  safety       %10s\n", res.safety_ok ? "OK" : "VIOLATED");
+  return res.safety_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hotstuff1
+
+int main(int argc, char** argv) { return hotstuff1::RunMain(argc, argv); }
