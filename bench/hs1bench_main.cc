@@ -1,0 +1,76 @@
+// hs1bench: the registry-driven benchmark harness. Every paper figure and
+// ablation is a registered scenario; this binary lists and runs them.
+//
+// Examples:
+//   hs1bench --list
+//   hs1bench --scenario=fig8_scalability
+//   hs1bench --scenario=fig9_delay --jobs=8 --format=csv
+//   hs1bench --scenario=fig8_scalability --smoke --jobs=2   (CI-sized)
+//   hs1bench --all --smoke
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/scenario.h"
+#include "runtime/sweep_runner.h"
+#include "tools/flags.h"
+#include "tools/scenario_cli.h"
+
+namespace hotstuff1 {
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out, R"(hs1bench - registry-driven benchmark harness
+
+  --list                     enumerate registered scenarios
+  --scenario=<name>          run one scenario (repeatable via positional args)
+  --all                      run every registered scenario
+  --jobs=N                   worker threads (default: hardware concurrency)
+  --format=table|csv|json    output format (default table)
+  --smoke                    CI-sized points (short windows, axis endpoints)
+  --help                     this text
+
+Scenario durations honor the H1_DURATION_MS environment override.
+)");
+}
+
+int RunMain(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (flags.Has("list")) return tools::ListScenarios();
+
+  ScenarioRunOptions options;
+  if (!tools::ParseScenarioRunOptions(flags, &options)) return 2;
+
+  std::vector<std::string> names = flags.positional();
+  if (flags.Has("scenario")) names.push_back(flags.GetString("scenario", ""));
+  if (flags.GetBool("all", false)) {
+    for (const ScenarioSpec* spec : ScenarioRegistry::Instance().All()) {
+      names.push_back(spec->name);
+    }
+  }
+  if (names.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& name : names) {
+    const ScenarioSpec* spec = ScenarioRegistry::Instance().Find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+    const int code = RunScenario(*spec, options);
+    if (code != 0) exit_code = code;
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace hotstuff1
+
+int main(int argc, char** argv) { return hotstuff1::RunMain(argc, argv); }

@@ -64,6 +64,7 @@ void Experiment::Setup() {
   HS1_CHECK_EQ(config_.topology.n, n);
 
   sim_ = std::make_unique<sim::Simulator>();
+  if (config_.event_cap > 0) sim_->SetEventCap(config_.event_cap);
   sim::NetworkConfig net_cfg;
   net_cfg.bandwidth_bytes_per_us = config_.bandwidth_bytes_per_us;
   net_cfg.seed = config_.seed;
@@ -176,6 +177,7 @@ ExperimentResult Experiment::Run() {
     }
   }
   res.safety_ok = CheckSafety();
+  res.event_cap_hit = sim_->cap_hit();
   return res;
 }
 
@@ -216,6 +218,7 @@ ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
   result.p50_latency_ms = lat.p50_latency_ms;
   result.p99_latency_ms = lat.p99_latency_ms;
   result.safety_ok = result.safety_ok && lat.safety_ok;
+  result.event_cap_hit = result.event_cap_hit || lat.event_cap_hit;
   return result;
 }
 

@@ -69,6 +69,10 @@ struct ExperimentConfig {
 
   CostModel costs;
   double bandwidth_bytes_per_us = 2000.0;
+
+  // Safety valve against runaway event storms: 0 = unlimited. A truncated
+  // run is reported via ExperimentResult::event_cap_hit, never silently.
+  uint64_t event_cap = 0;
 };
 
 struct ExperimentResult {
@@ -91,6 +95,7 @@ struct ExperimentResult {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
   bool safety_ok = true;  // committed prefixes agree across correct replicas
+  bool event_cap_hit = false;  // simulator stopped at its event cap: truncated run
 };
 
 class Experiment {

@@ -29,6 +29,71 @@ void ReportTable::Print(std::ostream& os) const {
   os.flush();
 }
 
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonString(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+}  // namespace
+
+void ReportTable::PrintCsv(std::ostream& os) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << CsvEscape(columns_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) os << (c == 0 ? "" : ",") << CsvEscape(row[c]);
+    os << "\n";
+  }
+  os.flush();
+}
+
+void ReportTable::PrintJson(std::ostream& os) const {
+  os << "{\"caption\":" << JsonString(caption_) << ",\"columns\":[";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << JsonString(columns_[c]);
+  }
+  os << "],\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ",") << "\n  [";
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      os << (c == 0 ? "" : ",") << JsonString(rows_[r][c]);
+    }
+    os << "]";
+  }
+  os << "\n]}\n";
+  os.flush();
+}
+
 std::string FormatTps(double tps) {
   char buf[32];
   if (tps >= 1e6) {

@@ -21,6 +21,13 @@ class ReportTable {
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
   void Print(std::ostream& os = std::cout) const;
 
+  /// Same data as Print(), one CSV line per row with a header line.
+  void PrintCsv(std::ostream& os = std::cout) const;
+  /// Same data as Print(), as {"caption":..., "columns":[...], "rows":[[...]]}.
+  void PrintJson(std::ostream& os = std::cout) const;
+
+  const std::string& caption() const { return caption_; }
+
  private:
   std::string caption_;
   std::vector<std::string> columns_;
@@ -30,6 +37,12 @@ class ReportTable {
 std::string FormatTps(double tps);
 std::string FormatMs(double ms);
 std::string FormatCount(uint64_t v);
+
+/// Quotes a CSV cell when it contains a delimiter, quote, or newline.
+std::string CsvEscape(const std::string& s);
+/// Escapes quotes, backslashes, and newlines for a JSON string body
+/// (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
 
 /// Virtual measurement duration for benches: H1_DURATION_MS env override,
 /// else `default_ms`.

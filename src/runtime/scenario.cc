@@ -1,0 +1,141 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/report.h"
+
+namespace hotstuff1 {
+
+MetricSpec ThroughputMetric() {
+  return {"throughput_tps",
+          [](const ExperimentResult& r) { return r.throughput_tps; },
+          [](double v) { return FormatTps(v); }};
+}
+
+MetricSpec AvgLatencyMetric() {
+  return {"avg_latency_ms",
+          [](const ExperimentResult& r) { return r.avg_latency_ms; },
+          [](double v) { return FormatMs(v); }};
+}
+
+MetricSpec P50LatencyMetric() {
+  return {"p50_latency_ms",
+          [](const ExperimentResult& r) { return r.p50_latency_ms; },
+          [](double v) { return FormatMs(v); }};
+}
+
+MetricSpec P99LatencyMetric() {
+  return {"p99_latency_ms",
+          [](const ExperimentResult& r) { return r.p99_latency_ms; },
+          [](double v) { return FormatMs(v); }};
+}
+
+MetricSpec CountMetric(std::string name,
+                       std::function<double(const ExperimentResult&)> value) {
+  return {std::move(name), std::move(value),
+          [](double v) { return FormatCount(static_cast<uint64_t>(v)); }};
+}
+
+Axis PaperProtocolAxis() {
+  Axis axis;
+  for (ProtocolKind kind :
+       {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2, ProtocolKind::kHotStuff1,
+        ProtocolKind::kHotStuff1Slotted}) {
+    axis.push_back(
+        {ProtocolName(kind), [kind](ExperimentConfig& c) { c.protocol = kind; }});
+  }
+  return axis;
+}
+
+namespace {
+
+// CI-sized default: a short window is enough to prove the point executes and
+// stays safe; figures use the full spec.
+void DefaultSmoke(ExperimentConfig& cfg) {
+  cfg.duration = std::min<SimTime>(cfg.duration, Millis(120));
+  cfg.warmup = std::min<SimTime>(cfg.warmup, Millis(40));
+}
+
+// Smoke runs keep only the endpoints of an axis: first and last point cover
+// the extremes without CI paying for the interior.
+Axis SubsampleEndpoints(const Axis& axis) {
+  if (axis.size() <= 2) return axis;
+  return {axis.front(), axis.back()};
+}
+
+}  // namespace
+
+std::vector<SweepPoint> ExpandScenario(const ScenarioSpec& spec, bool smoke) {
+  HS1_CHECK(!spec.custom_run) << "custom scenarios do not expand to sweep points";
+  const Axis no_axis{{"", nullptr}};
+  Axis tables = spec.tables.empty() ? no_axis : spec.tables;
+  Axis rows = spec.rows.empty() ? no_axis : spec.rows;
+  const Axis& cols = spec.cols.empty() ? no_axis : spec.cols;
+  std::vector<uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<uint64_t>{spec.base.seed} : spec.seeds;
+  if (smoke) {
+    tables = SubsampleEndpoints(tables);
+    rows = SubsampleEndpoints(rows);
+    seeds.resize(1);
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(tables.size() * rows.size() * cols.size() * seeds.size());
+  for (const AxisPoint& table : tables) {
+    for (const AxisPoint& row : rows) {
+      for (const AxisPoint& col : cols) {
+        for (uint64_t seed : seeds) {
+          SweepPoint p;
+          p.index = points.size();
+          p.table_label = table.label;
+          p.row_label = row.label;
+          p.col_label = col.label;
+          p.seed = seed;
+          p.mode = smoke ? RunMode::kSingle : spec.mode;
+          p.config = spec.base;
+          if (table.apply) table.apply(p.config);
+          if (row.apply) row.apply(p.config);
+          if (col.apply) col.apply(p.config);
+          p.config.seed = seed;
+          if (smoke) (spec.smoke ? spec.smoke : DefaultSmoke)(p.config);
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(ScenarioSpec spec) {
+  HS1_CHECK(!spec.name.empty()) << "scenario needs a name";
+  HS1_CHECK(Find(spec.name) == nullptr) << "duplicate scenario: " << spec.name;
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::Find(const std::string& name) const {
+  for (const ScenarioSpec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::All() const {
+  std::vector<const ScenarioSpec*> all;
+  all.reserve(specs_.size());
+  for (const ScenarioSpec& s : specs_) all.push_back(&s);
+  std::sort(all.begin(), all.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) { return a->name < b->name; });
+  return all;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(ScenarioSpec spec) {
+  ScenarioRegistry::Instance().Register(std::move(spec));
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,124 @@
+// Declarative scenario engine: a ScenarioSpec describes a paper figure (or
+// any experiment sweep) as axes over the ExperimentConfig space plus metric
+// columns, and a ScenarioRegistry makes every spec launchable by name from
+// hs1bench / hs1sim. Specs are pure data + mutators; execution lives in
+// sweep_runner.{h,cc}.
+
+#ifndef HOTSTUFF1_RUNTIME_SCENARIO_H_
+#define HOTSTUFF1_RUNTIME_SCENARIO_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace hotstuff1 {
+
+/// One labelled position on a sweep axis: applied on top of the spec's base
+/// config (and any outer axes) when the point is expanded.
+struct AxisPoint {
+  std::string label;
+  std::function<void(ExperimentConfig&)> apply;  // null = label-only
+};
+
+using Axis = std::vector<AxisPoint>;
+
+/// A metric column: extract a raw value from an ExperimentResult, format it
+/// for the human-readable table.
+struct MetricSpec {
+  std::string name;
+  std::function<double(const ExperimentResult&)> value;
+  std::function<std::string(double)> format;
+};
+
+// Stock metrics used by most figure scenarios.
+MetricSpec ThroughputMetric();
+MetricSpec AvgLatencyMetric();
+MetricSpec P50LatencyMetric();
+MetricSpec P99LatencyMetric();
+MetricSpec CountMetric(std::string name,
+                       std::function<double(const ExperimentResult&)> value);
+
+/// The protocol column axis shared by the figure benches (HotStuff,
+/// HotStuff-2, HotStuff-1, HS-1 slotted).
+Axis PaperProtocolAxis();
+
+/// How each expanded point is measured.
+enum class RunMode {
+  kPaperPoint,  // RunPaperPoint: saturated throughput + light-load latency
+  kSingle,      // RunExperiment: one run per point
+};
+
+struct ScenarioRunOptions;  // sweep_runner.h
+
+/// \brief Declarative description of one benchmark scenario.
+///
+/// Expansion order is tables x rows x cols x seeds (all deterministic), with
+/// mutators applied base -> table -> row -> col, so inner axes may derive
+/// values (timers, durations) from what outer axes already set.
+struct ScenarioSpec {
+  std::string name;         // registry key, e.g. "fig8_scalability"
+  std::string title;        // table caption stem, e.g. "Figure 8(a,b): Scalability"
+  std::string description;  // one line for --list
+  std::string table_name;   // axis header, e.g. "delay" (empty if no table axis)
+  std::string row_name = "x";  // row axis header, e.g. "n", "batch", "k"
+
+  ExperimentConfig base;
+  Axis tables;  // optional outer axis (one table group per point)
+  Axis rows;    // x-axis of each table
+  Axis cols;    // column axis, typically protocols
+  std::vector<MetricSpec> metrics;
+  std::vector<uint64_t> seeds;  // empty -> {base.seed}
+  RunMode mode = RunMode::kPaperPoint;
+
+  /// CI-sized override applied after all axes when running with --smoke.
+  /// Null picks the default (short duration/warmup, kSingle measurement).
+  std::function<void(ExperimentConfig&)> smoke;
+
+  /// Escape hatch for scenarios that are not config sweeps (micro-benchmarks):
+  /// when set, the sweep machinery is bypassed and this runs instead.
+  std::function<int(const ScenarioRunOptions&)> custom_run;
+};
+
+/// One expanded (config, seed) execution point of a scenario sweep.
+struct SweepPoint {
+  size_t index = 0;  // position in deterministic spec order
+  std::string table_label, row_label, col_label;
+  uint64_t seed = 0;
+  RunMode mode = RunMode::kPaperPoint;
+  ExperimentConfig config;
+};
+
+/// Expands a spec into its deterministic point list. With `smoke`, the spec's
+/// smoke mutator (or the default CI shrink) is applied to every point and the
+/// row/table axes are subsampled to their endpoints.
+std::vector<SweepPoint> ExpandScenario(const ScenarioSpec& spec, bool smoke = false);
+
+/// \brief Global name -> spec catalog; definitions self-register at load.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  /// Registers a spec (fatal on duplicate or empty name).
+  void Register(ScenarioSpec spec);
+
+  const ScenarioSpec* Find(const std::string& name) const;
+  std::vector<const ScenarioSpec*> All() const;  // sorted by name
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(ScenarioSpec spec);
+};
+
+/// Registers the ScenarioSpec returned by `maker` under a unique object name.
+#define HS1_REGISTER_SCENARIO(maker) \
+  static const ::hotstuff1::ScenarioRegistrar hs1_scenario_registrar_##maker{maker()}
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_SCENARIO_H_

@@ -1,0 +1,237 @@
+#include "runtime/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <thread>
+#include <tuple>
+
+#include "common/logging.h"
+#include "runtime/report.h"
+
+namespace hotstuff1 {
+
+bool ParseReportFormat(const std::string& s, ReportFormat* out) {
+  if (s == "table") *out = ReportFormat::kTable;
+  else if (s == "csv") *out = ReportFormat::kCsv;
+  else if (s == "json") *out = ReportFormat::kJson;
+  else return false;
+  return true;
+}
+
+bool SweepOutcome::AllSafe() const {
+  for (const ExperimentResult& r : results) {
+    if (!r.safety_ok) return false;
+  }
+  return true;
+}
+
+bool SweepOutcome::AnyCapHit() const {
+  for (const ExperimentResult& r : results) {
+    if (r.event_cap_hit) return true;
+  }
+  return false;
+}
+
+SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
+  SweepOutcome outcome;
+  outcome.spec = &spec;
+  outcome.points = ExpandScenario(spec, smoke);
+  outcome.results.resize(outcome.points.size());
+
+  auto run_point = [&](size_t i) {
+    const SweepPoint& p = outcome.points[i];
+    outcome.results[i] = p.mode == RunMode::kPaperPoint ? RunPaperPoint(p.config)
+                                                        : RunExperiment(p.config);
+  };
+
+  const size_t total = outcome.points.size();
+  const size_t workers = std::min<size_t>(static_cast<size_t>(jobs_), total);
+  if (workers <= 1) {
+    for (size_t i = 0; i < total; ++i) run_point(i);
+    return outcome;
+  }
+
+  // Points are independent (each Experiment owns its simulator); workers pull
+  // indices from a shared counter and write into their own result slot, so
+  // the merged vector is in spec order regardless of completion order.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        run_point(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return outcome;
+}
+
+namespace {
+
+// First-appearance-ordered unique labels along one point field.
+std::vector<std::string> UniqueLabels(const std::vector<SweepPoint>& points,
+                                      std::string SweepPoint::*field) {
+  std::vector<std::string> labels;
+  for (const SweepPoint& p : points) {
+    const std::string& l = p.*field;
+    if (std::find(labels.begin(), labels.end(), l) == labels.end()) labels.push_back(l);
+  }
+  return labels;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+// Diagnostics appended to every machine-readable row.
+struct DiagColumn {
+  const char* name;
+  std::function<std::string(const ExperimentResult&)> value;
+};
+
+std::vector<DiagColumn> DiagColumns(const std::vector<MetricSpec>& metrics) {
+  std::vector<DiagColumn> all = {
+      {"accepted", [](const ExperimentResult& r) { return std::to_string(r.accepted); }},
+      {"views", [](const ExperimentResult& r) { return std::to_string(r.views); }},
+      {"timeouts", [](const ExperimentResult& r) { return std::to_string(r.timeouts); }},
+      {"resubmissions",
+       [](const ExperimentResult& r) { return std::to_string(r.resubmissions); }},
+      {"rollback_events",
+       [](const ExperimentResult& r) { return std::to_string(r.rollback_events); }},
+      {"safety_ok", [](const ExperimentResult& r) { return r.safety_ok ? "1" : "0"; }},
+      {"event_cap_hit",
+       [](const ExperimentResult& r) { return r.event_cap_hit ? "1" : "0"; }},
+  };
+  // A scenario metric with the same name (e.g. ablation's "views") already
+  // carries the value; drop the diagnostic duplicate.
+  std::vector<DiagColumn> kept;
+  for (DiagColumn& d : all) {
+    const bool shadowed =
+        std::any_of(metrics.begin(), metrics.end(),
+                    [&](const MetricSpec& m) { return m.name == d.name; });
+    if (!shadowed) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace
+
+void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
+  const ScenarioSpec& spec = *outcome.spec;
+  const std::vector<std::string> tables =
+      UniqueLabels(outcome.points, &SweepPoint::table_label);
+  const std::vector<std::string> rows =
+      UniqueLabels(outcome.points, &SweepPoint::row_label);
+  const std::vector<std::string> cols =
+      UniqueLabels(outcome.points, &SweepPoint::col_label);
+
+  // Mean over seeds per (table, row, col, metric).
+  struct Acc {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::tuple<std::string, std::string, std::string, size_t>, Acc> acc;
+  for (size_t i = 0; i < outcome.points.size(); ++i) {
+    const SweepPoint& p = outcome.points[i];
+    for (size_t m = 0; m < spec.metrics.size(); ++m) {
+      Acc& a = acc[{p.table_label, p.row_label, p.col_label, m}];
+      a.sum += spec.metrics[m].value(outcome.results[i]);
+      ++a.count;
+    }
+  }
+
+  for (const std::string& table : tables) {
+    for (size_t m = 0; m < spec.metrics.size(); ++m) {
+      std::string caption = spec.title;
+      if (!table.empty()) {
+        caption += " [" + (spec.table_name.empty() ? std::string("axis")
+                                                   : spec.table_name) +
+                   "=" + table + "]";
+      }
+      caption += " - " + spec.metrics[m].name;
+      std::vector<std::string> header{spec.row_name};
+      header.insert(header.end(), cols.begin(), cols.end());
+      ReportTable report(caption, header);
+      for (const std::string& row : rows) {
+        std::vector<std::string> cells{row};
+        for (const std::string& col : cols) {
+          const Acc& a = acc[{table, row, col, m}];
+          cells.push_back(a.count == 0 ? "-" : spec.metrics[m].format(a.sum / a.count));
+        }
+        report.AddRow(std::move(cells));
+      }
+      report.Print(os);
+    }
+  }
+}
+
+void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
+  const ScenarioSpec& spec = *outcome.spec;
+  const std::vector<DiagColumn> diags = DiagColumns(spec.metrics);
+  os << "scenario,table,row,col,seed";
+  for (const MetricSpec& m : spec.metrics) os << "," << CsvEscape(m.name);
+  for (const DiagColumn& d : diags) os << "," << d.name;
+  os << "\n";
+  for (size_t i = 0; i < outcome.points.size(); ++i) {
+    const SweepPoint& p = outcome.points[i];
+    const ExperimentResult& r = outcome.results[i];
+    os << CsvEscape(spec.name) << "," << CsvEscape(p.table_label) << ","
+       << CsvEscape(p.row_label) << "," << CsvEscape(p.col_label) << "," << p.seed;
+    for (const MetricSpec& m : spec.metrics) os << "," << FormatDouble(m.value(r));
+    for (const DiagColumn& d : diags) os << "," << d.value(r);
+    os << "\n";
+  }
+  os.flush();
+}
+
+void EmitJson(const SweepOutcome& outcome, std::ostream& os) {
+  const ScenarioSpec& spec = *outcome.spec;
+  const std::vector<DiagColumn> diags = DiagColumns(spec.metrics);
+  os << "{\"scenario\":\"" << JsonEscape(spec.name) << "\",\"points\":[";
+  for (size_t i = 0; i < outcome.points.size(); ++i) {
+    const SweepPoint& p = outcome.points[i];
+    const ExperimentResult& r = outcome.results[i];
+    os << (i == 0 ? "" : ",") << "\n  {\"table\":\"" << JsonEscape(p.table_label)
+       << "\",\"row\":\"" << JsonEscape(p.row_label) << "\",\"col\":\""
+       << JsonEscape(p.col_label) << "\",\"seed\":" << p.seed;
+    for (const MetricSpec& m : spec.metrics) {
+      os << ",\"" << JsonEscape(m.name) << "\":" << FormatDouble(m.value(r));
+    }
+    for (const DiagColumn& d : diags) os << ",\"" << d.name << "\":" << d.value(r);
+    os << "}";
+  }
+  os << "\n]}\n";
+  os.flush();
+}
+
+int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
+  std::ostream& os = options.out ? *options.out : std::cout;
+  if (spec.custom_run) return spec.custom_run(options);
+
+  SweepRunner runner(options.jobs);
+  const SweepOutcome outcome = runner.Run(spec, options.smoke);
+  switch (options.format) {
+    case ReportFormat::kTable: EmitTables(outcome, os); break;
+    case ReportFormat::kCsv: EmitCsv(outcome, os); break;
+    case ReportFormat::kJson: EmitJson(outcome, os); break;
+  }
+  if (outcome.AnyCapHit()) {
+    std::cerr << "warning: scenario '" << spec.name
+              << "' hit the simulator event cap; results are truncated\n";
+  }
+  if (!outcome.AllSafe()) {
+    std::cerr << "SAFETY VIOLATION in scenario '" << spec.name << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hotstuff1

@@ -1,0 +1,63 @@
+// Executes a ScenarioSpec: expands it into independent (config, seed) points,
+// runs them on a worker pool (each Experiment owns its own Simulator/Network,
+// so points are embarrassingly parallel), and merges results in deterministic
+// spec order — output is byte-identical at any worker count.
+
+#ifndef HOTSTUFF1_RUNTIME_SWEEP_RUNNER_H_
+#define HOTSTUFF1_RUNTIME_SWEEP_RUNNER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.h"
+
+namespace hotstuff1 {
+
+enum class ReportFormat { kTable = 0, kCsv = 1, kJson = 2 };
+
+/// Parses "table" / "csv" / "json"; returns false on anything else.
+bool ParseReportFormat(const std::string& s, ReportFormat* out);
+
+struct ScenarioRunOptions {
+  int jobs = 1;          // worker threads (clamped to the point count)
+  bool smoke = false;    // CI-sized points, endpoint-subsampled axes
+  ReportFormat format = ReportFormat::kTable;
+  std::ostream* out = nullptr;  // default std::cout
+};
+
+/// A completed sweep: points and index-aligned results.
+struct SweepOutcome {
+  const ScenarioSpec* spec = nullptr;
+  std::vector<SweepPoint> points;
+  std::vector<ExperimentResult> results;
+
+  bool AllSafe() const;
+  bool AnyCapHit() const;
+};
+
+/// \brief Parallel executor for scenario sweeps.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  /// Runs every expanded point of `spec` and returns merged results.
+  SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
+
+ private:
+  int jobs_;
+};
+
+// Emitters over a merged outcome. All iterate points in spec order, so the
+// bytes written are independent of the worker count that produced them.
+void EmitTables(const SweepOutcome& outcome, std::ostream& os);
+void EmitCsv(const SweepOutcome& outcome, std::ostream& os);
+void EmitJson(const SweepOutcome& outcome, std::ostream& os);
+
+/// Runs one registered scenario end to end (sweep or custom) and writes the
+/// requested format. Returns a process exit code (0 ok, 1 safety violation).
+int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options);
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_SWEEP_RUNNER_H_

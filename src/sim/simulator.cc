@@ -10,7 +10,11 @@ void Simulator::At(SimTime t, Callback cb) {
 }
 
 bool Simulator::Step() {
-  if (queue_.empty() || events_processed_ >= event_cap_) return false;
+  if (queue_.empty()) return false;
+  if (events_processed_ >= event_cap_) {
+    cap_hit_ = true;
+    return false;
+  }
   // priority_queue::top() is const; move out via const_cast, which is safe
   // because we pop immediately.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
@@ -23,7 +27,11 @@ bool Simulator::Step() {
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t && events_processed_ < event_cap_) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (events_processed_ >= event_cap_) {
+      cap_hit_ = true;
+      break;
+    }
     Step();
   }
   if (now_ < t) now_ = t;

@@ -47,6 +47,10 @@ class Simulator {
   /// Safety valve against runaway event storms in buggy configurations.
   void SetEventCap(uint64_t cap) { event_cap_ = cap; }
 
+  /// True once the cap stopped execution with events still pending — the run
+  /// was truncated, not drained.
+  bool cap_hit() const { return cap_hit_; }
+
  private:
   struct Event {
     SimTime time;
@@ -65,6 +69,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   uint64_t event_cap_ = UINT64_MAX;
+  bool cap_hit_ = false;
 };
 
 }  // namespace hotstuff1::sim

@@ -4,6 +4,7 @@
 //   hs1sim --protocol=hotstuff1 --n=32 --batch=100 --duration_ms=2000
 //   hs1sim --protocol=slotted --n=31 --fault=slow --faulty=10 --timer_ms=100
 //   hs1sim --protocol=hotstuff2 --workload=tpcc --regions=3 --paper_point
+//   hs1sim --scenario=fig8_scalability --jobs=4 --format=csv
 //
 // Prints a one-line machine-friendly summary plus a human-readable block.
 
@@ -11,13 +12,16 @@
 #include <string>
 
 #include "runtime/experiment.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_runner.h"
 #include "tools/flags.h"
+#include "tools/scenario_cli.h"
 
 namespace hotstuff1 {
 namespace {
 
-int Usage() {
-  std::fprintf(stderr, R"(hs1sim - HotStuff-1 reproduction driver
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out, R"(hs1sim - HotStuff-1 reproduction driver
 
   --protocol=hotstuff|hotstuff2|basic|hotstuff1|slotted   (default hotstuff1)
   --n=<replicas>                (default 32)
@@ -38,13 +42,40 @@ int Usage() {
   --no_trusted_leader           disable the §6.3 fast path
   --seed=<u64>                  (default 1)
   --paper_point                 throughput at saturation + light-load latency
+
+Registered scenarios (the hs1bench sweep engine):
+  --list                        enumerate registered scenarios
+  --scenario=<name>             run a registered scenario instead of one point
+  --jobs=<N> --format=table|csv|json --smoke    scenario runner options
 )");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
+}
+
+int RunScenarioMode(const tools::Flags& flags) {
+  const std::string name = flags.GetString("scenario", "");
+  const ScenarioSpec* spec = ScenarioRegistry::Instance().Find(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+    return 2;
+  }
+  ScenarioRunOptions options;
+  if (!tools::ParseScenarioRunOptions(flags, &options)) return 2;
+  return RunScenario(*spec, options);
 }
 
 int RunMain(int argc, char** argv) {
   tools::Flags flags(argc, argv);
-  if (flags.Has("help")) return Usage();
+  if (flags.Has("help")) {
+    // Explicit --help is a success; exit code 2 stays reserved for flag errors.
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (flags.Has("list")) return tools::ListScenarios();
+  if (flags.Has("scenario")) return RunScenarioMode(flags);
 
   ExperimentConfig cfg;
   const std::string proto = flags.GetString("protocol", "hotstuff1");

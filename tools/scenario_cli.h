@@ -1,0 +1,47 @@
+// Shared scenario-mode CLI plumbing for hs1bench and hs1sim, so the two
+// binaries cannot drift on --jobs/--smoke/--format semantics or the --list
+// output.
+
+#ifndef HOTSTUFF1_TOOLS_SCENARIO_CLI_H_
+#define HOTSTUFF1_TOOLS_SCENARIO_CLI_H_
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "runtime/scenario.h"
+#include "runtime/sweep_runner.h"
+#include "tools/flags.h"
+
+namespace hotstuff1::tools {
+
+/// Prints the registered scenario catalog (for --list).
+inline int ListScenarios() {
+  for (const ScenarioSpec* spec : ScenarioRegistry::Instance().All()) {
+    std::printf("%-18s %s\n", spec->name.c_str(), spec->description.c_str());
+  }
+  return 0;
+}
+
+/// Parses --jobs / --smoke / --format. Returns false after printing the
+/// problem to stderr; callers turn that into flag-error exit code 2.
+inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* options) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  options->jobs = static_cast<int>(flags.GetInt("jobs", hw > 0 ? hw : 1));
+  options->smoke = flags.GetBool("smoke", false);
+  const std::string format = flags.GetString("format", "table");
+  if (!ParseReportFormat(format, &options->format)) {
+    std::fprintf(stderr, "unknown --format '%s' (want table|csv|json)\n",
+                 format.c_str());
+    return false;
+  }
+  if (options->jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hotstuff1::tools
+
+#endif  // HOTSTUFF1_TOOLS_SCENARIO_CLI_H_
