@@ -25,7 +25,11 @@ void PrintUsage(std::FILE* out) {
   --list                     enumerate registered scenarios
   --scenario=<name>          run one scenario (repeatable via positional args)
   --all                      run every registered scenario
-  --jobs=N                   worker threads (default: hardware concurrency)
+  --jobs=N                   worker threads across sweep points
+                             (default: hardware concurrency)
+  --sim-jobs=N               threads inside each experiment's event loop
+                             (default: per-scenario config; output is
+                             byte-identical at any value)
   --format=table|csv|json    output format (default table)
   --smoke                    CI-sized points (short windows, axis endpoints)
   --help                     this text

@@ -19,12 +19,19 @@ ClientPool::ClientPool(sim::Simulator* sim, const Workload* workload,
 void ClientPool::Start() {
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     // Tiny stagger avoids an artificial thundering herd at t=0.
-    sim_->After(static_cast<SimTime>(c % 97), [this, c]() { SubmitFresh(c); });
+    sim_->AfterShard(static_cast<SimTime>(c % 97), kShardClients,
+                     [this, c]() { SubmitFresh(c); });
   }
-  sim_->After(config_.resubmit_timeout / 2, [this]() { Sweep(); });
+  sim_->AfterShard(config_.resubmit_timeout / 2, kShardClients,
+                   [this]() { Sweep(); });
 }
 
 void ClientPool::SubmitFresh(uint32_t client) {
+  // Every pool mutation gates on SyncShared so that a replica event earlier
+  // in the tick (whose DrawBatch passed its own gate and may still be
+  // mutating the queue) has completed before this event touches it. The
+  // gate is pairwise: earlier accessors finish before later ones start.
+  sim_->SyncShared();
   const uint64_t id = (static_cast<uint64_t>(client) << 32) | next_seq_++;
   ClientTxn state;
   state.txn = workload_->Generate(&rng_);
@@ -39,6 +46,10 @@ void ClientPool::SubmitFresh(uint32_t client) {
 
 std::vector<Transaction> ClientPool::DrawBatch(ReplicaId leader, size_t max,
                                                SimTime now) {
+  // Called synchronously from the proposing replica's event: under a
+  // parallel executor, wait for every earlier same-tick event so the queue
+  // is read and mutated in exact sequence order.
+  sim_->SyncShared();
   std::vector<Transaction> out;
   const SimTime lat = leader < latency_.size() ? latency_[leader] : 0;
   while (out.size() < max && !queue_.empty()) {
@@ -61,15 +72,19 @@ std::vector<Transaction> ClientPool::DrawBatch(ReplicaId leader, size_t max,
 void ClientPool::OnBlockResponse(ReplicaId from, const BlockPtr& block,
                                  const std::vector<uint64_t>& results,
                                  bool speculative, SimTime send_time) {
-  // Response hop back to the clients.
+  // Response hop back to the clients. Only immutable state is read here (the
+  // replica's event may run concurrently with other shards); all pool
+  // mutation happens in the scheduled event on the clients' own shard.
   const SimTime lat = from < latency_.size() ? latency_[from] : 0;
-  sim_->At(send_time + lat, [this, from, block, results, speculative]() {
-    Process(from, block, results, speculative);
-  });
+  sim_->AtShard(send_time + lat, kShardClients,
+                [this, from, block, results, speculative]() {
+                  Process(from, block, results, speculative);
+                });
 }
 
 void ClientPool::Process(ReplicaId from, const BlockPtr& block,
                          const std::vector<uint64_t>& results, bool speculative) {
+  sim_->SyncShared();  // see SubmitFresh
   const uint64_t bit = 1ULL << (from % 64);
   const auto& txns = block->txns();
   for (size_t i = 0; i < txns.size(); ++i) {
@@ -116,6 +131,7 @@ void ClientPool::Accept(uint64_t id, ClientTxn& state, const Hash256& block_hash
 }
 
 void ClientPool::Sweep() {
+  sim_->SyncShared();  // see SubmitFresh
   const SimTime now = sim_->Now();
   for (auto& [id, state] : outstanding_) {
     if (state.in_flight && now - state.last_enqueue >= config_.resubmit_timeout) {
@@ -127,7 +143,8 @@ void ClientPool::Sweep() {
       queue_.push_back(id);
     }
   }
-  sim_->After(config_.resubmit_timeout / 2, [this]() { Sweep(); });
+  sim_->AfterShard(config_.resubmit_timeout / 2, kShardClients,
+                   [this]() { Sweep(); });
 }
 
 void ClientPool::ResetStats() {

@@ -26,6 +26,13 @@
 
 namespace hotstuff1 {
 
+/// Shard for the client pool's own events (submission stagger, response
+/// processing, the retry sweeper). Distinct from every replica shard, so
+/// client work overlaps replica work under a parallel executor; mutual
+/// exclusion against replicas' synchronous DrawBatch/PendingCount calls is
+/// enforced by Simulator::SyncShared at the pool's entry points.
+inline constexpr sim::ShardId kShardClients = 0xfffffffeu;
+
 struct ClientPoolConfig {
   uint32_t num_clients = 800;
   /// Committed-response threshold (f+1).
@@ -40,6 +47,10 @@ struct ClientPoolConfig {
   bool track_accepted = false;
 };
 
+/// Threading: all mutable pool state is a single shared domain. Methods
+/// invoked from replica events (DrawBatch, PendingCount) gate on
+/// Simulator::SyncShared, so under a parallel executor every access happens
+/// in exact event-sequence order — identical to a single-threaded run.
 class ClientPool : public TransactionSource, public ResponseSink {
  public:
   /// `latency_to_replica[r]` is the one-way client<->replica delay (clients
@@ -53,7 +64,10 @@ class ClientPool : public TransactionSource, public ResponseSink {
   // --- TransactionSource ------------------------------------------------------
   std::vector<Transaction> DrawBatch(ReplicaId leader, size_t max,
                                      SimTime now) override;
-  size_t PendingCount() const override { return queue_.size(); }
+  size_t PendingCount() const override {
+    sim_->SyncShared();  // called from replica events; order the read
+    return queue_.size();
+  }
 
   // --- ResponseSink ------------------------------------------------------------
   void OnBlockResponse(ReplicaId from, const BlockPtr& block,

@@ -1,5 +1,7 @@
 #include "runtime/experiment.h"
 
+#include <chrono>
+
 #include "baselines/hotstuff.h"
 #include "baselines/hotstuff2.h"
 #include "common/logging.h"
@@ -65,6 +67,7 @@ void Experiment::Setup() {
 
   sim_ = std::make_unique<sim::Simulator>();
   if (config_.event_cap > 0) sim_->SetEventCap(config_.event_cap);
+  if (config_.sim_jobs > 1) sim_->SetJobs(static_cast<int>(config_.sim_jobs));
   sim::NetworkConfig net_cfg;
   net_cfg.bandwidth_bytes_per_us = config_.bandwidth_bytes_per_us;
   net_cfg.seed = config_.seed;
@@ -139,6 +142,7 @@ void Experiment::Setup() {
 
 ExperimentResult Experiment::Run() {
   Setup();
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto& r : replicas_) {
     if (!r->crashed()) r->Start();
   }
@@ -178,6 +182,9 @@ ExperimentResult Experiment::Run() {
   }
   res.safety_ok = CheckSafety();
   res.event_cap_hit = sim_->cap_hit();
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
   return res;
 }
 
@@ -219,6 +226,7 @@ ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
   result.p99_latency_ms = lat.p99_latency_ms;
   result.safety_ok = result.safety_ok && lat.safety_ok;
   result.event_cap_hit = result.event_cap_hit || lat.event_cap_hit;
+  result.wall_ms += lat.wall_ms;
   return result;
 }
 

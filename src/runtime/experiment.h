@@ -70,6 +70,12 @@ struct ExperimentConfig {
   CostModel costs;
   double bandwidth_bytes_per_us = 2000.0;
 
+  // Intra-experiment parallelism: worker threads for the simulator's event
+  // loop (--sim-jobs). 1 = the classic single-threaded loop; any value
+  // yields byte-identical results (see docs/ARCHITECTURE.md, determinism
+  // contract).
+  uint32_t sim_jobs = 1;
+
   // Safety valve against runaway event storms: 0 = unlimited. A truncated
   // run is reported via ExperimentResult::event_cap_hit, never silently.
   uint64_t event_cap = 0;
@@ -96,6 +102,10 @@ struct ExperimentResult {
   uint64_t bytes_sent = 0;
   bool safety_ok = true;  // committed prefixes agree across correct replicas
   bool event_cap_hit = false;  // simulator stopped at its event cap: truncated run
+  // Real (wall-clock) milliseconds spent executing the run. The only
+  // nondeterministic field; excluded from every deterministic emitter, used
+  // by the par_speedup scenario.
+  double wall_ms = 0;
 };
 
 class Experiment {

@@ -1,5 +1,6 @@
 #include "runtime/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iomanip>
@@ -117,6 +118,21 @@ std::string FormatMs(double ms) {
 }
 
 std::string FormatCount(uint64_t v) { return std::to_string(v); }
+
+SampleStats ComputeStats(const std::vector<double>& samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (s.count == 0) return s;
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count < 2) return s;
+  double sq = 0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  return s;
+}
 
 SimTime BenchDuration(double default_ms) {
   if (const char* env = std::getenv("H1_DURATION_MS")) {

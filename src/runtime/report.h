@@ -38,6 +38,17 @@ std::string FormatTps(double tps);
 std::string FormatMs(double ms);
 std::string FormatCount(uint64_t v);
 
+/// Aggregate statistics for one table cell over its per-seed samples.
+/// Deterministic: computed with two fixed-order passes, so the emitted
+/// bytes never depend on worker scheduling.
+struct SampleStats {
+  uint64_t count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1 denominator); 0 if count < 2
+  double ci95 = 0;    ///< 95% CI half-width, normal approx: 1.96 * stddev / sqrt(n)
+};
+SampleStats ComputeStats(const std::vector<double>& samples);
+
 /// Quotes a CSV cell when it contains a delimiter, quote, or newline.
 std::string CsvEscape(const std::string& s);
 /// Escapes quotes, backslashes, and newlines for a JSON string body

@@ -37,6 +37,11 @@ MetricSpec CountMetric(std::string name,
           [](double v) { return FormatCount(static_cast<uint64_t>(v)); }};
 }
 
+MetricSpec WallClockMetric() {
+  return {"wall_ms", [](const ExperimentResult& r) { return r.wall_ms; },
+          [](double v) { return FormatMs(v); }};
+}
+
 Axis PaperProtocolAxis() {
   Axis axis;
   for (ProtocolKind kind :

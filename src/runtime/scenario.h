@@ -18,6 +18,10 @@ namespace hotstuff1 {
 
 /// One labelled position on a sweep axis: applied on top of the spec's base
 /// config (and any outer axes) when the point is expanded.
+///
+/// Determinism: `apply` must be a pure function of the config it receives —
+/// no I/O, no wall clock, no shared mutable state — because it runs once per
+/// expanded point, possibly concurrently on sweep worker threads.
 struct AxisPoint {
   std::string label;
   std::function<void(ExperimentConfig&)> apply;  // null = label-only
@@ -26,7 +30,8 @@ struct AxisPoint {
 using Axis = std::vector<AxisPoint>;
 
 /// A metric column: extract a raw value from an ExperimentResult, format it
-/// for the human-readable table.
+/// for the human-readable table. `value` and `format` must be pure (they
+/// run per point per emitter, in deterministic spec order).
 struct MetricSpec {
   std::string name;
   std::function<double(const ExperimentResult&)> value;
@@ -40,6 +45,10 @@ MetricSpec P50LatencyMetric();
 MetricSpec P99LatencyMetric();
 MetricSpec CountMetric(std::string name,
                        std::function<double(const ExperimentResult&)> value);
+/// Real milliseconds spent executing the point. The one inherently
+/// nondeterministic metric — only speedup-style scenarios should use it,
+/// and their output is exempt from the byte-identical contract.
+MetricSpec WallClockMetric();
 
 /// The protocol column axis shared by the figure benches (HotStuff,
 /// HotStuff-2, HotStuff-1, HS-1 slotted).
@@ -58,6 +67,11 @@ struct ScenarioRunOptions;  // sweep_runner.h
 /// Expansion order is tables x rows x cols x seeds (all deterministic), with
 /// mutators applied base -> table -> row -> col, so inner axes may derive
 /// values (timers, durations) from what outer axes already set.
+///
+/// Ownership/threading: specs are value types. The registry keeps one copy
+/// alive for the process lifetime and hands out const pointers; the sweep
+/// runner only ever reads a spec, so one spec may serve concurrent runs.
+/// Authoring guide: docs/scenario-authoring.md.
 struct ScenarioSpec {
   std::string name;         // registry key, e.g. "fig8_scalability"
   std::string title;        // table caption stem, e.g. "Figure 8(a,b): Scalability"
@@ -97,6 +111,10 @@ struct SweepPoint {
 std::vector<SweepPoint> ExpandScenario(const ScenarioSpec& spec, bool smoke = false);
 
 /// \brief Global name -> spec catalog; definitions self-register at load.
+///
+/// Threading: populated by static initializers before main() and read-only
+/// afterwards, so lookups need no synchronization. Register at runtime only
+/// from a single thread (tests do this before spawning workers).
 class ScenarioRegistry {
  public:
   static ScenarioRegistry& Instance();

@@ -40,6 +40,21 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
   SweepOutcome outcome;
   outcome.spec = &spec;
   outcome.points = ExpandScenario(spec, smoke);
+  if (sim_jobs_ > 0) {
+    // Respect scenarios that sweep sim_jobs themselves (par_speedup): if any
+    // axis mutator changed it from the base, the global override would
+    // silently relabel the rows, so it is ignored for that scenario.
+    const bool axis_sweeps_sim_jobs =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.sim_jobs != spec.base.sim_jobs;
+                    });
+    if (!axis_sweeps_sim_jobs) {
+      for (SweepPoint& p : outcome.points) {
+        p.config.sim_jobs = static_cast<uint32_t>(sim_jobs_);
+      }
+    }
+  }
   outcome.results.resize(outcome.points.size());
 
   auto run_point = [&](size_t i) {
@@ -133,18 +148,20 @@ void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
   const std::vector<std::string> cols =
       UniqueLabels(outcome.points, &SweepPoint::col_label);
 
-  // Mean over seeds per (table, row, col, metric).
-  struct Acc {
-    double sum = 0;
-    uint64_t count = 0;
-  };
-  std::map<std::tuple<std::string, std::string, std::string, size_t>, Acc> acc;
+  // Per-seed samples per (table, row, col, metric); cells report the mean
+  // and, with multiple seeds, the sample stddev ("mean ±sd"). Points are
+  // visited in spec order, so the statistics — like every emitter — are
+  // byte-identical at any worker count.
+  std::map<std::tuple<std::string, std::string, std::string, size_t>,
+           std::vector<double>>
+      acc;
+  bool multi_seed = false;
   for (size_t i = 0; i < outcome.points.size(); ++i) {
     const SweepPoint& p = outcome.points[i];
     for (size_t m = 0; m < spec.metrics.size(); ++m) {
-      Acc& a = acc[{p.table_label, p.row_label, p.col_label, m}];
-      a.sum += spec.metrics[m].value(outcome.results[i]);
-      ++a.count;
+      auto& samples = acc[{p.table_label, p.row_label, p.col_label, m}];
+      samples.push_back(spec.metrics[m].value(outcome.results[i]));
+      multi_seed = multi_seed || samples.size() > 1;
     }
   }
 
@@ -163,13 +180,23 @@ void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
       for (const std::string& row : rows) {
         std::vector<std::string> cells{row};
         for (const std::string& col : cols) {
-          const Acc& a = acc[{table, row, col, m}];
-          cells.push_back(a.count == 0 ? "-" : spec.metrics[m].format(a.sum / a.count));
+          const SampleStats s = ComputeStats(acc[{table, row, col, m}]);
+          if (s.count == 0) {
+            cells.push_back("-");
+          } else if (s.count == 1) {
+            cells.push_back(spec.metrics[m].format(s.mean));
+          } else {
+            cells.push_back(spec.metrics[m].format(s.mean) + " ±" +
+                            spec.metrics[m].format(s.stddev));
+          }
         }
         report.AddRow(std::move(cells));
       }
       report.Print(os);
     }
+  }
+  if (multi_seed) {
+    os << "(± = sample stddev over seeds; 95% CI half-width = 1.96*sd/sqrt(k))\n";
   }
 }
 
@@ -216,7 +243,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   std::ostream& os = options.out ? *options.out : std::cout;
   if (spec.custom_run) return spec.custom_run(options);
 
-  SweepRunner runner(options.jobs);
+  SweepRunner runner(options.jobs, options.sim_jobs);
   const SweepOutcome outcome = runner.Run(spec, options.smoke);
   switch (options.format) {
     case ReportFormat::kTable: EmitTables(outcome, os); break;

@@ -20,7 +20,11 @@ enum class ReportFormat { kTable = 0, kCsv = 1, kJson = 2 };
 bool ParseReportFormat(const std::string& s, ReportFormat* out);
 
 struct ScenarioRunOptions {
-  int jobs = 1;          // worker threads (clamped to the point count)
+  int jobs = 1;          // worker threads across points (clamped to the count)
+  // Threads inside each experiment's event loop; 0 keeps each point's
+  // configured value. Ignored when the scenario itself sweeps sim_jobs as
+  // an axis (overriding would relabel its rows).
+  int sim_jobs = 0;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
   ReportFormat format = ReportFormat::kTable;
   std::ostream* out = nullptr;  // default std::cout
@@ -37,15 +41,24 @@ struct SweepOutcome {
 };
 
 /// \brief Parallel executor for scenario sweeps.
+///
+/// Two orthogonal axes of parallelism compose here: `jobs` worker threads
+/// each run whole (config, seed) points (every Experiment owns its own
+/// Simulator/Network, so points never share state), while `sim_jobs > 0`
+/// forces every point's config to use that many threads *inside* its
+/// simulator event loop. Both are determinism-preserving: merged output is
+/// byte-identical at any (jobs, sim_jobs) combination.
 class SweepRunner {
  public:
-  explicit SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+  explicit SweepRunner(int jobs, int sim_jobs = 0)
+      : jobs_(jobs < 1 ? 1 : jobs), sim_jobs_(sim_jobs) {}
 
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
  private:
   int jobs_;
+  int sim_jobs_;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

@@ -10,7 +10,6 @@ Network::Network(Simulator* sim, uint32_t n, NetworkConfig config)
     : sim_(sim),
       n_(n),
       config_(config),
-      rng_(config.seed),
       handlers_(n),
       latency_(n, std::vector<SimTime>(n, config.default_latency)),
       node_extra_delay_(n, 0),
@@ -18,8 +17,16 @@ Network::Network(Simulator* sim, uint32_t n, NetworkConfig config)
       cpu_busy_until_(n, 0),
       crashed_(n, false),
       ingress_(n),
-      drain_scheduled_(n, false) {
-  for (uint32_t i = 0; i < n; ++i) latency_[i][i] = config.loopback_latency;
+      drain_scheduled_(n, false),
+      messages_sent_by_(n, 0),
+      bytes_sent_by_(n, 0),
+      messages_dropped_by_(n, 0) {
+  rngs_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Decorrelated per-sender streams derived from the network seed.
+    rngs_.emplace_back(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    latency_[i][i] = config.loopback_latency;
+  }
 }
 
 void Network::SetHandler(NodeId id, Handler handler) {
@@ -83,8 +90,8 @@ void Network::Send(NodeId from, NodeId to, NetMessagePtr msg) {
   for (const auto& [id, rule] : rules_) {
     (void)id;
     if (rule.from_match[from] && rule.to_match[to]) {
-      if (rule.drop_prob > 0 && rng_.NextBool(rule.drop_prob)) {
-        ++messages_dropped_;
+      if (rule.drop_prob > 0 && rngs_[from].NextBool(rule.drop_prob)) {
+        ++messages_dropped_by_[from];
         return;
       }
       extra += rule.extra_delay;
@@ -105,11 +112,11 @@ void Network::Send(NodeId from, NodeId to, NetMessagePtr msg) {
   SimTime lat = latency_[from][to];
   if (config_.jitter_frac > 0 && to != from) {
     lat += static_cast<SimTime>(static_cast<double>(lat) * config_.jitter_frac *
-                                rng_.NextDouble());
+                                rngs_[from].NextDouble());
   }
 
-  ++messages_sent_;
-  bytes_sent_ += size;
+  ++messages_sent_by_[from];
+  bytes_sent_by_[from] += size;
   DeliverLater(from, to, std::move(msg), depart + lat + extra);
 }
 
@@ -121,7 +128,10 @@ void Network::Broadcast(NodeId from, const NetMessagePtr& msg, bool include_self
 }
 
 void Network::DeliverLater(NodeId from, NodeId to, NetMessagePtr msg, SimTime arrival) {
-  sim_->At(arrival, [this, from, to, msg = std::move(msg)]() {
+  // Delivery runs on the destination's shard: the handler mutates only
+  // receiver-owned state, so same-tick deliveries to distinct nodes may
+  // execute concurrently under a parallel executor.
+  sim_->AtShard(arrival, to, [this, from, to, msg = std::move(msg)]() {
     TryDeliver(from, to, msg);
   });
 }
@@ -142,7 +152,7 @@ void Network::ScheduleDrain(NodeId to) {
   if (drain_scheduled_[to]) return;
   drain_scheduled_[to] = true;
   const SimTime when = std::max(sim_->Now(), cpu_busy_until_[to]);
-  sim_->At(when, [this, to]() { Drain(to); });
+  sim_->AtShard(when, to, [this, to]() { Drain(to); });
 }
 
 void Network::Drain(NodeId to) {

@@ -7,6 +7,14 @@
 //   * per-node CPU busy-time          -> signature/exec compute-bound regimes
 //   * per-node injected delay         -> Fig. 9(a-d,f-i) delay experiments
 //   * crash / drop / partition rules  -> failure experiments and tests
+//
+// Threading / determinism contract (see docs/ARCHITECTURE.md): every piece
+// of mutable run-time state is partitioned by node. Send(from, ...) touches
+// only sender-owned state (egress clock, the sender's RNG stream, per-sender
+// counters) and is called only from events on shard `from`; deliveries and
+// ingress drains are scheduled on the destination's shard. Configuration
+// mutators (latencies, rules, Crash/Recover) are for setup or for untagged
+// (kShardSerial, i.e. barrier) events only.
 
 #ifndef HOTSTUFF1_SIM_NETWORK_H_
 #define HOTSTUFF1_SIM_NETWORK_H_
@@ -98,9 +106,11 @@ class Network {
   SimTime CpuBusyUntil(NodeId id) const { return cpu_busy_until_[id]; }
 
   // --- stats -----------------------------------------------------------------
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  // Counters are kept per sender so concurrent shards never share a cache
+  // line or an increment; totals are summed on read (post-run).
+  uint64_t messages_sent() const { return Total(messages_sent_by_); }
+  uint64_t bytes_sent() const { return Total(bytes_sent_by_); }
+  uint64_t messages_dropped() const { return Total(messages_dropped_by_); }
 
  private:
   void DeliverLater(NodeId from, NodeId to, NetMessagePtr msg, SimTime arrival);
@@ -108,10 +118,18 @@ class Network {
   void ScheduleDrain(NodeId to);
   void Drain(NodeId to);
 
+  static uint64_t Total(const std::vector<uint64_t>& v) {
+    uint64_t sum = 0;
+    for (uint64_t x : v) sum += x;
+    return sum;
+  }
+
   Simulator* sim_;
   uint32_t n_;
   NetworkConfig config_;
-  Rng rng_;
+  // One jitter/drop stream per sender: draws depend only on the sender's own
+  // send sequence, never on cross-node interleaving.
+  std::vector<Rng> rngs_;
 
   std::vector<Handler> handlers_;
   std::vector<std::vector<SimTime>> latency_;
@@ -126,9 +144,9 @@ class Network {
   std::vector<std::pair<int, FaultRule>> rules_;
   int next_rule_id_ = 0;
 
-  uint64_t messages_sent_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
+  std::vector<uint64_t> messages_sent_by_;
+  std::vector<uint64_t> bytes_sent_by_;
+  std::vector<uint64_t> messages_dropped_by_;
 };
 
 }  // namespace hotstuff1::sim

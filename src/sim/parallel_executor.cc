@@ -1,0 +1,256 @@
+#include "sim/parallel_executor.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hotstuff1::sim {
+
+namespace {
+
+// Context of the tick event the current thread is executing (if any). Used
+// to inherit shards, stage scheduled events, and resolve SyncShared waits.
+struct TickContext {
+  ParallelExecutor* exec = nullptr;
+  Simulator* sim = nullptr;
+  size_t idx = 0;
+};
+thread_local TickContext tls_ctx;
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(Simulator* sim, int jobs) : sim_(sim) {
+  HS1_CHECK_GE(jobs, 2);
+  threads_.reserve(static_cast<size_t>(jobs - 1));
+  for (int i = 0; i < jobs - 1; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ParallelExecutor::StageIfInTick(Simulator* sim, SimTime t, ShardId shard,
+                                     Simulator::Callback* cb) {
+  TickContext& ctx = tls_ctx;
+  if (ctx.exec == nullptr || ctx.sim != sim) return false;
+  (*ctx.exec->round_)[ctx.idx].staged.push_back(
+      StagedEvent{t, shard, std::move(*cb)});
+  return true;
+}
+
+ShardId ParallelExecutor::InheritedShard() {
+  const TickContext& ctx = tls_ctx;
+  if (ctx.exec == nullptr) return kShardSerial;
+  return (*ctx.exec->round_)[ctx.idx].shard;
+}
+
+void ParallelExecutor::Drain(SimTime limit) {
+  HS1_CHECK(!draining_) << "Simulator::Run/RunUntil is not reentrant";
+  draining_ = true;
+  auto& q = sim_->queue_;
+  std::vector<TickEvent> round;
+  while (!q.empty() && q.top().time <= limit) {
+    if (sim_->events_processed_ >= sim_->event_cap_) {
+      sim_->cap_hit_ = true;
+      break;
+    }
+    const SimTime t = q.top().time;
+    sim_->now_ = t;
+    bool capped = false;
+    PopRound(t, &round);
+    while (!round.empty()) {
+      if (sim_->events_processed_ + round.size() > sim_->event_cap_) {
+        // The cap lands inside this round: put the events back (sequence
+        // numbers preserved) and truncate one event at a time exactly like
+        // the serial loop would.
+        for (TickEvent& ev : round) {
+          sim_->RepushEvent(Simulator::Event{t, ev.seq, ev.shard, std::move(ev.cb)});
+        }
+        round.clear();
+        SerialCapTail(limit);
+        capped = true;
+        break;
+      }
+      RunRound(round);
+      sim_->events_processed_ += round.size();
+      // Deterministic commit: staged events enter the queue in (parent
+      // dispatch order, call order) — the order the serial loop would have
+      // assigned sequence numbers in.
+      for (TickEvent& ev : round) {
+        for (StagedEvent& s : ev.staged) {
+          sim_->PushEvent(s.time, s.shard, std::move(s.cb));
+        }
+      }
+      round.clear();
+      // Zero-delay follow-ons run within the same tick, after everything
+      // that was already queued at this timestamp (their seqs are larger).
+      PopRound(t, &round);
+    }
+    if (capped) break;
+  }
+  draining_ = false;
+}
+
+void ParallelExecutor::SerialCapTail(SimTime limit) {
+  auto& q = sim_->queue_;
+  while (!q.empty() && q.top().time <= limit) {
+    if (!sim_->Step()) break;  // Step sets cap_hit_ at the cap
+  }
+}
+
+void ParallelExecutor::PopRound(SimTime t, std::vector<TickEvent>* out) {
+  auto& q = sim_->queue_;
+  auto& last_of_shard = last_of_shard_;
+  last_of_shard.clear();
+  while (!q.empty() && q.top().time == t) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately.
+    Simulator::Event ev = std::move(const_cast<Simulator::Event&>(q.top()));
+    q.pop();
+    TickEvent te;
+    te.seq = ev.seq;
+    te.shard = ev.shard;
+    te.cb = std::move(ev.cb);
+    if (te.shard != kShardSerial) {
+      auto [it, inserted] =
+          last_of_shard.try_emplace(te.shard, static_cast<int>(out->size()));
+      if (!inserted) {
+        te.prev_same_shard = it->second;
+        it->second = static_cast<int>(out->size());
+      }
+    }
+    out->push_back(std::move(te));
+  }
+}
+
+void ParallelExecutor::RunRound(std::vector<TickEvent>& round) {
+  const size_t n = round.size();
+  round_ = &round;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_.assign(n, 0);
+    done_watermark_ = 0;
+  }
+  size_t i = 0;
+  while (i < n) {
+    if (round[i].shard == kShardSerial) {
+      // Barrier: everything before completes, the event runs alone.
+      WaitAllDoneBelow(i);
+      RunEvent(i);
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < n && round[end].shard != kShardSerial) ++end;
+    RunSegment(i, end);
+    i = end;
+  }
+  WaitAllDoneBelow(n);
+  round_ = nullptr;
+}
+
+void ParallelExecutor::RunSegment(size_t begin, size_t end) {
+  std::vector<TickEvent>& round = *round_;
+  bool one_shard = true;
+  for (size_t j = begin + 1; j < end && one_shard; ++j) {
+    one_shard = round[j].shard == round[begin].shard;
+  }
+  if (end - begin == 1 || one_shard) {
+    // Nothing to parallelize: run inline without waking the pool. All
+    // earlier events are complete here, so chain waits are trivially met.
+    for (size_t j = begin; j < end; ++j) RunEvent(j);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    next_task_.store(begin, std::memory_order_relaxed);
+    segment_end_ = end;
+    ++segment_gen_;
+    segment_active_ = true;
+  }
+  work_cv_.notify_all();
+  // The driving thread participates in the segment.
+  for (;;) {
+    const size_t idx = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= end) break;
+    RunEvent(idx);
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Wait for completion AND for every worker to leave its task loop: a
+    // worker between tasks could otherwise race the next segment's
+    // next_task_ reset and grab an index against stale bounds.
+    done_cv_.wait(lk, [&] { return done_watermark_ >= end && busy_workers_ == 0; });
+    segment_active_ = false;
+  }
+}
+
+void ParallelExecutor::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(
+        lk, [&] { return stop_ || (segment_active_ && segment_gen_ != seen_gen); });
+    if (stop_) return;
+    seen_gen = segment_gen_;
+    const size_t end = segment_end_;
+    ++busy_workers_;
+    lk.unlock();
+    for (;;) {
+      const size_t idx = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= end) break;
+      RunEvent(idx);
+    }
+    lk.lock();
+    --busy_workers_;
+    if (busy_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ParallelExecutor::RunEvent(size_t idx) {
+  TickEvent& ev = (*round_)[idx];
+  // Per-shard chain: one shard's events execute strictly in sequence order.
+  if (ev.prev_same_shard >= 0) WaitEventDone(static_cast<size_t>(ev.prev_same_shard));
+  TickContext saved = tls_ctx;
+  tls_ctx = TickContext{this, sim_, idx};
+  ev.cb();
+  tls_ctx = saved;
+  MarkDone(idx);
+}
+
+void ParallelExecutor::WaitEventDone(size_t idx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return done_[idx] != 0; });
+}
+
+void ParallelExecutor::WaitAllDoneBelow(size_t idx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return done_watermark_ >= idx; });
+}
+
+void ParallelExecutor::MarkDone(size_t idx) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_[idx] = 1;
+    while (done_watermark_ < done_.size() && done_[done_watermark_] != 0) {
+      ++done_watermark_;
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void ParallelExecutor::SyncShared() {
+  const TickContext& ctx = tls_ctx;
+  if (ctx.exec != this) return;  // not inside one of this executor's ticks
+  WaitAllDoneBelow(ctx.idx);
+}
+
+}  // namespace hotstuff1::sim

@@ -1,0 +1,146 @@
+// Deterministic intra-experiment parallelism: a worker pool that processes
+// all events sharing one virtual timestamp (a "tick") concurrently while
+// reproducing the single-threaded execution byte for byte.
+//
+// Model
+//   * Every event carries a ShardId (simulator.h). Replicas are the natural
+//     shards: the network tags each delivery/drain with the destination
+//     node, replica continuations inherit their replica's shard, and the
+//     client pool runs on its own shard.
+//   * Within a tick, events of one shard execute strictly in sequence order
+//     (a per-shard chain); events of different shards run concurrently.
+//   * kShardSerial events are barriers: everything ordered before them
+//     completes first, nothing ordered after starts until they finish.
+//   * Callbacks that must touch shared (cross-shard) state call
+//     Simulator::SyncShared(), which blocks until every earlier event of the
+//     tick has completed — so shared-domain accesses happen in exact
+//     sequence order, identical to the serial path.
+//   * Events scheduled during a tick are staged per parent event and
+//     committed after the round in deterministic order: (parent dispatch
+//     order, call order within the parent). That is exactly the order the
+//     serial loop would have assigned sequence numbers in, so the queue
+//     contents — and all downstream behavior — match the serial path.
+//
+// Determinism argument (why jobs=1 and jobs=N produce identical bytes):
+//   1. Same-shard events: chained, so their relative order is seq order.
+//   2. Cross-shard events only interact through (a) per-node state owned by
+//      exactly one shard, (b) SyncShared-gated domains (seq order enforced),
+//      (c) staged scheduling (seq-order commit), or (d) immutable state.
+//   3. Integer counters that multiple shards logically share are kept
+//      per-shard and summed on read (order-independent).
+//   Anything outside (1)-(3) must be scheduled as a kShardSerial barrier.
+//
+// The speedup comes from real ticks being wide: epoch-synchronization timer
+// storms, broadcast deliveries (small messages serialize onto the same
+// arrival tick), and quorum formation — all n replicas verifying signatures
+// or executing a freshly committed batch at the same virtual instant.
+
+#ifndef HOTSTUFF1_SIM_PARALLEL_EXECUTOR_H_
+#define HOTSTUFF1_SIM_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hotstuff1::sim {
+
+/// \brief Tick-parallel executor attached to one Simulator.
+///
+/// Ownership: created and owned by Simulator::SetJobs; joins its workers on
+/// destruction. All public methods except the static context helpers are
+/// called by the owning simulator; Stage/SyncShared additionally run on
+/// worker threads while a tick is in flight.
+class ParallelExecutor {
+ public:
+  /// Spawns `jobs - 1` workers; the driving thread participates too, so the
+  /// total concurrency is `jobs` (>= 2).
+  ParallelExecutor(Simulator* sim, int jobs);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  int jobs() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Processes ticks while the next event's time is <= limit, mirroring the
+  /// serial RunUntil/Run loop (including event-cap truncation semantics).
+  /// Does not advance the clock past the last executed event.
+  void Drain(SimTime limit);
+
+  /// Blocks until all events dispatched before the calling event in the
+  /// current tick have completed. No-op when the calling thread is not
+  /// executing a tick event.
+  void SyncShared();
+
+  /// If the calling thread is executing a tick event of `sim`'s executor,
+  /// stages the scheduling request for deterministic commit and returns
+  /// true; otherwise returns false and the caller pushes directly.
+  static bool StageIfInTick(Simulator* sim, SimTime t, ShardId shard,
+                            Simulator::Callback* cb);
+
+  /// Shard of the event the calling thread is executing, or kShardSerial.
+  static ShardId InheritedShard();
+
+ private:
+  struct StagedEvent {
+    SimTime time;
+    ShardId shard;
+    Simulator::Callback cb;
+  };
+  struct TickEvent {
+    uint64_t seq = 0;
+    ShardId shard = kShardSerial;
+    Simulator::Callback cb;
+    int prev_same_shard = -1;  // chain predecessor within the round, or -1
+    std::vector<StagedEvent> staged;
+  };
+
+  /// Moves every queued event with time == t into `out` (sequence order),
+  /// recording per-shard chain predecessors.
+  void PopRound(SimTime t, std::vector<TickEvent>* out);
+  /// Runs one sub-round (a batch of same-timestamp events) with per-shard
+  /// chaining, barrier handling, and completion tracking.
+  void RunRound(std::vector<TickEvent>& round);
+  /// Runs events [begin, end) — all non-barrier — on the pool + this thread.
+  void RunSegment(size_t begin, size_t end);
+  void RunEvent(size_t idx);
+  void WaitEventDone(size_t idx);
+  void WaitAllDoneBelow(size_t idx);
+  void MarkDone(size_t idx);
+  void WorkerLoop();
+  /// Serial tail used when a round would cross the event cap: re-queues the
+  /// round and steps one event at a time exactly like the serial path.
+  void SerialCapTail(SimTime limit);
+
+  Simulator* sim_;
+  std::vector<std::thread> threads_;
+  // Reused across PopRound calls (cleared, keeping its buckets) so the
+  // per-tick hot path does not reallocate.
+  std::unordered_map<ShardId, int> last_of_shard_;
+
+  // Round state (valid while RunRound is active).
+  std::vector<TickEvent>* round_ = nullptr;
+  std::atomic<size_t> next_task_{0};
+  size_t segment_end_ = 0;
+  uint64_t segment_gen_ = 0;
+  bool segment_active_ = false;
+  std::vector<uint8_t> done_;
+  size_t done_watermark_ = 0;  // all events with idx < watermark completed
+  size_t busy_workers_ = 0;    // workers inside a segment's task loop
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // segment opened / stop
+  std::condition_variable done_cv_;  // an event completed
+  bool stop_ = false;
+  bool draining_ = false;  // reentrancy guard
+};
+
+}  // namespace hotstuff1::sim
+
+#endif  // HOTSTUFF1_SIM_PARALLEL_EXECUTOR_H_

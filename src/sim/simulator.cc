@@ -1,12 +1,45 @@
 #include "sim/simulator.h"
 
+#include <limits>
+
 #include "common/logging.h"
+#include "sim/parallel_executor.h"
 
 namespace hotstuff1::sim {
 
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
 void Simulator::At(SimTime t, Callback cb) {
+  AtShard(t, ParallelExecutor::InheritedShard(), std::move(cb));
+}
+
+void Simulator::AtShard(SimTime t, ShardId shard, Callback cb) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  // During a parallel tick, scheduling requests are staged per parent event
+  // and committed in deterministic order after the round.
+  if (ParallelExecutor::StageIfInTick(this, t, shard, &cb)) return;
+  PushEvent(t, shard, std::move(cb));
+}
+
+void Simulator::SetJobs(int jobs) {
+  // Clamp to the widest useful pool: rounds are at most one event per shard
+  // (<= 64 replicas + clients), so more workers can never help, and absurd
+  // values must not reach std::thread's constructor (which throws).
+  constexpr int kMaxJobs = 64;
+  if (jobs > kMaxJobs) jobs = kMaxJobs;
+  if (jobs <= 1) {
+    exec_.reset();
+    return;
+  }
+  if (exec_ && exec_->jobs() == jobs) return;
+  exec_ = std::make_unique<ParallelExecutor>(this, jobs);
+}
+
+int Simulator::jobs() const { return exec_ ? exec_->jobs() : 1; }
+
+void Simulator::SyncShared() {
+  if (exec_) exec_->SyncShared();
 }
 
 bool Simulator::Step() {
@@ -27,17 +60,25 @@ bool Simulator::Step() {
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (events_processed_ >= event_cap_) {
-      cap_hit_ = true;
-      break;
+  if (exec_) {
+    exec_->Drain(t);
+  } else {
+    while (!queue_.empty() && queue_.top().time <= t) {
+      if (events_processed_ >= event_cap_) {
+        cap_hit_ = true;
+        break;
+      }
+      Step();
     }
-    Step();
   }
   if (now_ < t) now_ = t;
 }
 
 void Simulator::Run() {
+  if (exec_) {
+    exec_->Drain(std::numeric_limits<SimTime>::max());
+    return;
+  }
   while (Step()) {
   }
 }

@@ -1,12 +1,18 @@
 // Deterministic discrete-event simulator. All protocol activity is ordered
 // by (virtual time, insertion sequence), so a run is a pure function of
-// (configuration, seed).
+// (configuration, seed) — at ANY worker count.
+//
+// Single-threaded by default; SetJobs(N>1) attaches a ParallelExecutor that
+// processes same-timestamp events concurrently while preserving exactly the
+// sequential semantics (see parallel_executor.h for the determinism
+// contract and docs/ARCHITECTURE.md for the sharding model).
 
 #ifndef HOTSTUFF1_SIM_SIMULATOR_H_
 #define HOTSTUFF1_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -14,24 +20,79 @@
 
 namespace hotstuff1::sim {
 
+/// Shard affinity of an event. Components partition their per-node state by
+/// shard: an event tagged with shard S may mutate only state owned by S (plus
+/// gated shared domains — see Simulator::SyncShared). The parallel executor
+/// runs one shard's events strictly in sequence order and different shards
+/// concurrently; in single-threaded runs the tag is ignored.
+using ShardId = uint32_t;
+
+/// Events with no declared affinity. Under a parallel executor these act as
+/// full barriers (everything before completes first, nothing after starts
+/// until they finish), so untagged events are always safe — just slow.
+inline constexpr ShardId kShardSerial = 0xffffffffu;
+
+class ParallelExecutor;
+
 /// \brief Virtual-clock event loop.
+///
+/// Ownership/threading: one Simulator per Experiment; not copyable. All
+/// public methods are called from the thread driving the simulation (or, for
+/// At/AtShard/SyncShared, from executor workers while a parallel tick is in
+/// flight — the executor makes those paths safe). Distinct Simulator
+/// instances are fully independent: the sweep runner exploits this to run
+/// experiments embarrassingly parallel across threads.
+///
+/// Determinism invariant: given the same schedule of At/AtShard calls, event
+/// execution order — and therefore every observable result — is identical
+/// whether events run on the serial loop or on a parallel executor with any
+/// worker count. Callbacks must never read wall-clock time, thread ids, or
+/// any other source that varies across runs.
 class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
 
-  /// Schedules `cb` at absolute virtual time `t` (clamped to now).
+  /// Schedules `cb` at absolute virtual time `t` (clamped to now). The event
+  /// inherits the shard of the event currently executing (a replica's
+  /// self-scheduled continuation stays on the replica's shard); scheduled
+  /// from outside any event it is kShardSerial.
   void At(SimTime t, Callback cb);
 
-  /// Schedules `cb` after `delay` from now.
+  /// Schedules `cb` at `t` with an explicit shard affinity. Use this when the
+  /// event belongs to a different shard than the caller (e.g. the network
+  /// tags a delivery with the destination node).
+  void AtShard(SimTime t, ShardId shard, Callback cb);
+
+  /// Schedules `cb` after `delay` from now (shard-inheriting, like At).
   void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
 
-  /// Executes the next event. Returns false if the queue is empty.
+  /// Schedules `cb` after `delay` on an explicit shard.
+  void AfterShard(SimTime delay, ShardId shard, Callback cb) {
+    AtShard(now_ + delay, shard, std::move(cb));
+  }
+
+  /// Attaches (jobs > 1) or detaches (jobs <= 1) the parallel executor.
+  /// Results are byte-identical at any value. Call before Run/RunUntil, not
+  /// from inside a callback.
+  void SetJobs(int jobs);
+  int jobs() const;
+
+  /// Serial-domain gate: when called from a callback during a parallel tick,
+  /// blocks until every event ordered before the caller has completed, so
+  /// accesses to shared (non-sharded) state happen in exact sequence order.
+  /// No-op on the single-threaded path. Components guarding shared mutable
+  /// state (e.g. the client pool) call this at every entry point.
+  void SyncShared();
+
+  /// Executes the next event. Returns false if the queue is empty. Always
+  /// single-threaded, even when an executor is attached.
   bool Step();
 
   /// Runs all events with time <= t, then advances the clock to t.
@@ -52,9 +113,12 @@ class Simulator {
   bool cap_hit() const { return cap_hit_; }
 
  private:
+  friend class ParallelExecutor;
+
   struct Event {
     SimTime time;
     uint64_t seq;
+    ShardId shard;
     Callback cb;
   };
   struct EventLater {
@@ -64,12 +128,20 @@ class Simulator {
     }
   };
 
+  /// Pushes with a fresh sequence number (no clamp, no staging).
+  void PushEvent(SimTime t, ShardId shard, Callback cb) {
+    queue_.push(Event{t, next_seq_++, shard, std::move(cb)});
+  }
+  /// Re-inserts an event that was popped but not executed (cap fallback).
+  void RepushEvent(Event ev) { queue_.push(std::move(ev)); }
+
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   uint64_t event_cap_ = UINT64_MAX;
   bool cap_hit_ = false;
+  std::unique_ptr<ParallelExecutor> exec_;
 };
 
 }  // namespace hotstuff1::sim

@@ -1,0 +1,201 @@
+// Deterministic intra-experiment parallelism tests: the parallel executor
+// must reproduce the single-threaded event loop byte for byte at any
+// --sim-jobs count — shard chaining, barriers, the SyncShared gate, staged
+// scheduling, cap truncation, and full experiments / scenario sweeps.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_runner.h"
+#include "sim/simulator.h"
+
+namespace hotstuff1 {
+namespace {
+
+using sim::kShardSerial;
+using sim::ShardId;
+using sim::Simulator;
+
+// A scripted workload over raw simulator events: every event appends to its
+// shard's own log and re-schedules follow-ups (self-shard via inheritance,
+// cross-shard explicitly). Returns the per-shard logs plus final clock.
+struct ScriptOutcome {
+  std::vector<std::vector<int>> logs;
+  SimTime now = 0;
+  uint64_t events = 0;
+
+  bool operator==(const ScriptOutcome& o) const {
+    return logs == o.logs && now == o.now && events == o.events;
+  }
+};
+
+ScriptOutcome RunScript(int jobs) {
+  constexpr int kShards = 4;
+  Simulator sim;
+  sim.SetJobs(jobs);
+  ScriptOutcome out;
+  out.logs.resize(kShards);
+
+  for (ShardId s = 0; s < kShards; ++s) {
+    // Three generations of same-timestamp events per shard; each generation
+    // schedules the next via plain At (inheriting the shard) plus a
+    // cross-shard message to the next shard.
+    sim.AtShard(10, s, [&, s] {
+      out.logs[s].push_back(1);
+      sim.After(0, [&, s] { out.logs[s].push_back(2); });  // same tick, inherited
+      sim.AtShard(20, (s + 1) % kShards, [&, s] {
+        out.logs[(s + 1) % kShards].push_back(100 + static_cast<int>(s));
+      });
+    });
+  }
+  // An untagged event acts as a barrier and may read everything.
+  sim.At(15, [&] {
+    int total = 0;
+    for (const auto& log : out.logs) total += static_cast<int>(log.size());
+    EXPECT_EQ(total, 2 * kShards);  // all tick-10 work is complete
+  });
+  sim.Run();
+  out.now = sim.Now();
+  out.events = sim.EventsProcessed();
+  return out;
+}
+
+TEST(ParallelExecutorTest, ScriptedShardsMatchSerial) {
+  const ScriptOutcome serial = RunScript(1);
+  EXPECT_EQ(serial.events, 4u + 4u + 1u + 4u);
+  for (int jobs : {2, 4, 8}) {
+    EXPECT_EQ(RunScript(jobs), serial) << "jobs=" << jobs;
+  }
+}
+
+// SyncShared orders same-tick accesses to a shared domain in sequence
+// order, so a shared log is deterministic even across shards.
+TEST(ParallelExecutorTest, SyncSharedOrdersSharedDomain) {
+  auto run = [](int jobs) {
+    Simulator sim;
+    sim.SetJobs(jobs);
+    std::vector<int> shared;
+    for (ShardId s = 0; s < 8; ++s) {
+      sim.AtShard(5, s, [&, s] {
+        sim.SyncShared();
+        shared.push_back(static_cast<int>(s));
+      });
+    }
+    sim.Run();
+    return shared;
+  };
+  const std::vector<int> serial = run(1);
+  ASSERT_EQ(serial.size(), 8u);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelExecutorTest, EventCapTruncatesIdentically) {
+  auto run = [](int jobs) {
+    Simulator sim;
+    sim.SetJobs(jobs);
+    sim.SetEventCap(10);
+    uint64_t ran = 0;
+    for (ShardId s = 0; s < 4; ++s) {
+      for (int k = 0; k < 5; ++k) {
+        sim.AtShard(7, s, [&] { ++ran; });
+      }
+    }
+    sim.Run();
+    return std::tuple<uint64_t, uint64_t, bool, size_t>{
+        ran, sim.EventsProcessed(), sim.cap_hit(), sim.PendingEvents()};
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(std::get<0>(serial), 10u);
+  EXPECT_TRUE(std::get<2>(serial));
+  EXPECT_EQ(run(4), serial);
+}
+
+// Full experiments: every deterministic result field must agree between the
+// serial loop and the parallel executor.
+void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.accepted_speculative, b.accepted_speculative);
+  EXPECT_EQ(a.resubmissions, b.resubmissions);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ms, b.avg_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p50_latency_ms, b.p50_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+  EXPECT_EQ(a.committed_blocks, b.committed_blocks);
+  EXPECT_EQ(a.committed_txns, b.committed_txns);
+  EXPECT_EQ(a.views, b.views);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.rollback_events, b.rollback_events);
+  EXPECT_EQ(a.blocks_rolled_back, b.blocks_rolled_back);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.safety_ok, b.safety_ok);
+  EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
+}
+
+ExperimentConfig SmallConfig(ProtocolKind kind) {
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.n = 16;
+  cfg.batch_size = 100;
+  cfg.duration = Millis(150);
+  cfg.warmup = Millis(50);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ParallelExperimentTest, ByteIdenticalAcrossSimJobs) {
+  for (ProtocolKind kind : {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff1,
+                            ProtocolKind::kHotStuff1Slotted}) {
+    ExperimentConfig cfg = SmallConfig(kind);
+    const ExperimentResult serial = RunExperiment(cfg);
+    EXPECT_TRUE(serial.safety_ok);
+    for (uint32_t jobs : {4u, 8u}) {
+      cfg.sim_jobs = jobs;
+      ExpectSameResult(RunExperiment(cfg), serial);
+    }
+  }
+}
+
+TEST(ParallelExperimentTest, ByteIdenticalUnderFaultsAndGeo) {
+  ExperimentConfig cfg = SmallConfig(ProtocolKind::kHotStuff1);
+  cfg.fault = Fault::kTailFork;
+  cfg.num_faulty = 5;
+  cfg.topology = sim::Topology::Geo(cfg.n, 3);
+  cfg.view_timer = Millis(1200);
+  cfg.delta = Millis(160);
+  const ExperimentResult serial = RunExperiment(cfg);
+  cfg.sim_jobs = 8;
+  ExpectSameResult(RunExperiment(cfg), serial);
+}
+
+// The acceptance gate: the fig8_scalability sweep's machine-readable output
+// is byte-identical at --sim-jobs=1 and --sim-jobs=8 (and at any --jobs).
+TEST(ParallelExperimentTest, Fig8ScalabilityCsvByteIdentical) {
+  const ScenarioSpec* spec = ScenarioRegistry::Instance().Find("fig8_scalability");
+  ASSERT_NE(spec, nullptr);
+
+  auto run_csv = [&](int jobs, int sim_jobs) {
+    SweepRunner runner(jobs, sim_jobs);
+    const SweepOutcome outcome = runner.Run(*spec, /*smoke=*/true);
+    std::ostringstream os;
+    EmitCsv(outcome, os);
+    return os.str();
+  };
+  const std::string baseline = run_csv(/*jobs=*/1, /*sim_jobs=*/1);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/1), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/8), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/4), baseline);
+}
+
+}  // namespace
+}  // namespace hotstuff1

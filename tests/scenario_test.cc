@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <tuple>
 
+#include "runtime/report.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_runner.h"
 #include "sim/simulator.h"
@@ -140,6 +142,60 @@ TEST(SweepRunnerTest, TableAndJsonEmittersAreOrderStable) {
   EmitJson(b, jb);
   EXPECT_EQ(ta.str(), tb.str());
   EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(SweepRunnerTest, MultiSeedTablesCarryVarianceColumns) {
+  const ScenarioSpec spec = TinySpec();  // seeds = {1, 2}
+  SweepRunner runner(1);
+  const SweepOutcome outcome = runner.Run(spec);
+  std::ostringstream os;
+  EmitTables(outcome, os);
+  const std::string text = os.str();
+  // Every cell aggregates 2 seeds, so the spread marker and its legend must
+  // be present; with a single seed neither appears.
+  EXPECT_NE(text.find("±"), std::string::npos) << text;
+  EXPECT_NE(text.find("sample stddev"), std::string::npos);
+
+  ScenarioSpec single = TinySpec();
+  single.seeds = {1};
+  std::ostringstream os1;
+  EmitTables(SweepRunner(1).Run(single), os1);
+  EXPECT_EQ(os1.str().find("±"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, SimJobsOverrideRespectsSimJobsAxis) {
+  // A scenario that sweeps sim_jobs itself keeps its axis values even when
+  // the runner carries a global override; a scenario that does not gets the
+  // override applied to every point.
+  ScenarioSpec sweeping = TinySpec();
+  sweeping.rows.clear();
+  for (uint32_t jobs : {1u, 2u}) {
+    sweeping.rows.push_back({std::to_string(jobs), [jobs](ExperimentConfig& c) {
+                               c.sim_jobs = jobs;
+                             }});
+  }
+  const SweepOutcome swept = SweepRunner(1, /*sim_jobs=*/8).Run(sweeping);
+  for (const SweepPoint& p : swept.points) {
+    EXPECT_EQ(p.config.sim_jobs, static_cast<uint32_t>(std::stoi(p.row_label)));
+  }
+
+  const SweepOutcome plain = SweepRunner(1, /*sim_jobs=*/2).Run(TinySpec());
+  for (const SweepPoint& p : plain.points) {
+    EXPECT_EQ(p.config.sim_jobs, 2u);
+  }
+}
+
+TEST(SweepRunnerTest, ComputeStatsMatchesHandValues) {
+  const SampleStats empty = ComputeStats({});
+  EXPECT_EQ(empty.count, 0u);
+  const SampleStats one = ComputeStats({5.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  const SampleStats s = ComputeStats({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // sqrt(((2-4)^2+(0)^2+(2)^2)/2)
+  EXPECT_NEAR(s.ci95, 1.96 * 2.0 / std::sqrt(3.0), 1e-12);
 }
 
 TEST(EventCapTest, SimulatorReportsTruncation) {

@@ -41,6 +41,9 @@ void PrintUsage(std::FILE* out) {
   --no_speculation              disable speculative responses
   --no_trusted_leader           disable the §6.3 fast path
   --seed=<u64>                  (default 1)
+  --sim-jobs=<N>                parallel event-loop threads (default 1;
+                                results byte-identical at any value)
+  --bandwidth_bytes_per_us=<B>  per-node egress bandwidth (default 2000)
   --paper_point                 throughput at saturation + light-load latency
 
 Registered scenarios (the hs1bench sweep engine):
@@ -107,6 +110,14 @@ int RunMain(int argc, char** argv) {
   cfg.trusted_leader_enabled = !flags.GetBool("no_trusted_leader", false);
   cfg.inject_delay = Millis(flags.GetDouble("inject_delay_ms", 0));
   cfg.num_impaired = static_cast<uint32_t>(flags.GetInt("impaired", 0));
+  const int64_t sim_jobs = flags.GetInt("sim-jobs", flags.GetInt("sim_jobs", 1));
+  if (sim_jobs < 1) {
+    std::fprintf(stderr, "--sim-jobs must be >= 1\n");
+    return Usage();
+  }
+  cfg.sim_jobs = static_cast<uint32_t>(sim_jobs);
+  cfg.bandwidth_bytes_per_us =
+      flags.GetDouble("bandwidth_bytes_per_us", cfg.bandwidth_bytes_per_us);
 
   const std::string workload = flags.GetString("workload", "ycsb");
   cfg.workload = workload == "tpcc" ? WorkloadKind::kTpcc : WorkloadKind::kYcsb;

@@ -23,11 +23,19 @@ inline int ListScenarios() {
   return 0;
 }
 
-/// Parses --jobs / --smoke / --format. Returns false after printing the
-/// problem to stderr; callers turn that into flag-error exit code 2.
+/// Parses --jobs / --sim-jobs / --smoke / --format. Returns false after
+/// printing the problem to stderr; callers turn that into flag-error exit
+/// code 2.
 inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* options) {
   const unsigned hw = std::thread::hardware_concurrency();
   options->jobs = static_cast<int>(flags.GetInt("jobs", hw > 0 ? hw : 1));
+  // Accept both spellings; omitting the flag leaves each point's configured
+  // value in place. An explicit value must be a positive integer (atoll maps
+  // junk to 0, which the check below rejects).
+  const bool has_sim_jobs = flags.Has("sim-jobs") || flags.Has("sim_jobs");
+  options->sim_jobs = has_sim_jobs ? static_cast<int>(flags.GetInt(
+                                         "sim-jobs", flags.GetInt("sim_jobs", 0)))
+                                   : 0;
   options->smoke = flags.GetBool("smoke", false);
   const std::string format = flags.GetString("format", "table");
   if (!ParseReportFormat(format, &options->format)) {
@@ -37,6 +45,10 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
   }
   if (options->jobs < 1) {
     std::fprintf(stderr, "--jobs must be >= 1\n");
+    return false;
+  }
+  if (has_sim_jobs && options->sim_jobs < 1) {
+    std::fprintf(stderr, "--sim-jobs must be >= 1\n");
     return false;
   }
   return true;
