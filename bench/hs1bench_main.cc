@@ -22,13 +22,16 @@ namespace {
 void PrintUsage(std::FILE* out) {
   std::fprintf(out, R"(hs1bench - registry-driven benchmark harness
 
-  --list                     enumerate registered scenarios
+  --list                     enumerate registered scenarios with their axes
   --scenario=<name>          run one scenario (repeatable via positional args)
   --all                      run every registered scenario
   --jobs=N                   worker threads across sweep points
                              (default: hardware concurrency)
   --sim-jobs=N               threads inside each experiment's event loop
                              (default: per-scenario config; output is
+                             byte-identical at any value)
+  --lookahead=auto|off|<us>  conservative lookahead window for the parallel
+                             event loop (default: per-scenario config;
                              byte-identical at any value)
   --format=table|csv|json    output format (default table)
   --smoke                    CI-sized points (short windows, axis endpoints)

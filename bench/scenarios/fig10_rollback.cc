@@ -30,6 +30,11 @@ ScenarioSpec Fig10Rollback() {
   spec.base.duration = BenchDuration(1500);
   spec.base.warmup = Millis(300);
   spec.base.seed = 2024;
+  // Safety valve for the long-running fault sweeps: a full point processes
+  // ~1M events, so 50M only trips on runaway storms (e.g. a timeout config
+  // gone wrong). Truncation is reported via the event_cap_hit column and a
+  // table warning, never silently.
+  spec.base.event_cap = 50'000'000;
 
   for (uint32_t faulty : {0u, 1u, 4u, 7u, 10u}) {
     spec.rows.push_back({std::to_string(faulty),

@@ -28,6 +28,8 @@ ScenarioSpec Fig10Slowness() {
   spec.base.fault = Fault::kSlowLeader;
   spec.base.delta = Millis(1);
   spec.base.seed = 2024;
+  // Safety valve for the long-running fault sweeps (see fig10_rollback).
+  spec.base.event_cap = 50'000'000;
 
   for (double timer_ms : {10.0, 100.0}) {
     spec.tables.push_back({timer_ms == 10.0 ? "10ms" : "100ms",

@@ -29,6 +29,8 @@ ScenarioSpec Fig10TailFork() {
   spec.base.duration = BenchDuration(1500);
   spec.base.warmup = Millis(300);
   spec.base.seed = 2024;
+  // Safety valve for the long-running fault sweeps (see fig10_rollback).
+  spec.base.event_cap = 50'000'000;
 
   for (uint32_t faulty : {0u, 1u, 4u, 7u, 10u}) {
     spec.rows.push_back({std::to_string(faulty),

@@ -14,6 +14,8 @@
 #ifndef HOTSTUFF1_CLIENT_CLIENT_POOL_H_
 #define HOTSTUFF1_CLIENT_CLIENT_POOL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +75,15 @@ class ClientPool : public TransactionSource, public ResponseSink {
   void OnBlockResponse(ReplicaId from, const BlockPtr& block,
                        const std::vector<uint64_t>& results, bool speculative,
                        SimTime send_time) override;
+
+  /// Conservative lower bound on the replica->client response hop, the one
+  /// cross-shard path that bypasses the network's bandwidth model. Feeds the
+  /// lookahead horizon next to Network::MinDeliveryLatency.
+  SimTime MinResponseLatency() const {
+    SimTime min_latency = INT64_MAX / 4;
+    for (SimTime lat : latency_) min_latency = std::min(min_latency, lat);
+    return min_latency;
+  }
 
   // --- measurement -------------------------------------------------------------
   /// Clears latency samples and acceptance counters (warmup boundary).

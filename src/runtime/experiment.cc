@@ -1,6 +1,7 @@
 #include "runtime/experiment.h"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "baselines/hotstuff.h"
 #include "baselines/hotstuff2.h"
@@ -25,6 +26,33 @@ const char* ProtocolName(ProtocolKind kind) {
 bool IsSpeculative(ProtocolKind kind) {
   return kind == ProtocolKind::kHotStuff1Basic || kind == ProtocolKind::kHotStuff1 ||
          kind == ProtocolKind::kHotStuff1Slotted;
+}
+
+bool ParseLookahead(const std::string& s, LookaheadSpec* out) {
+  if (s == "auto") {
+    *out = LookaheadSpec{LookaheadMode::kAuto, 0};
+    return true;
+  }
+  if (s == "off") {
+    *out = LookaheadSpec{LookaheadMode::kOff, 0};
+    return true;
+  }
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v == 0 ? LookaheadSpec{LookaheadMode::kOff, 0}
+                : LookaheadSpec{LookaheadMode::kWindow, static_cast<SimTime>(v)};
+  return true;
+}
+
+std::string FormatLookahead(const LookaheadSpec& spec) {
+  switch (spec.mode) {
+    case LookaheadMode::kAuto: return "auto";
+    case LookaheadMode::kOff: return "off";
+    case LookaheadMode::kWindow: return std::to_string(spec.window);
+  }
+  return "?";
 }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
@@ -112,6 +140,24 @@ void Experiment::Setup() {
   cp.track_accepted = config_.track_accepted;
   clients_ = std::make_unique<ClientPool>(sim_.get(), workload_.get(), cp,
                                           std::move(client_lat));
+
+  // Conservative lookahead horizon: no event may schedule onto another
+  // shard sooner than the fastest cross-shard path — a network delivery
+  // (min pairwise latency + egress serialization floor) or a replica->
+  // client response hop. Faults, jitter, and impairments only add delay.
+  SimTime lookahead_window = 0;
+  switch (config_.lookahead.mode) {
+    case LookaheadMode::kOff:
+      break;
+    case LookaheadMode::kWindow:
+      lookahead_window = config_.lookahead.window;
+      break;
+    case LookaheadMode::kAuto:
+      lookahead_window =
+          std::min(net_->MinDeliveryLatency(), clients_->MinResponseLatency());
+      break;
+  }
+  sim_->SetLookahead(lookahead_window);
 
   ConsensusConfig cc = ConsensusConfig::ForN(n);
   cc.batch_size = config_.batch_size;

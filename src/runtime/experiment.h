@@ -32,6 +32,33 @@ bool IsSpeculative(ProtocolKind kind);
 
 enum class WorkloadKind { kYcsb = 0, kTpcc = 1 };
 
+/// How the simulator's conservative lookahead window is chosen (the safe
+/// horizon within which the parallel executor may run events of different
+/// timestamps concurrently — see docs/ARCHITECTURE.md, "Lookahead window").
+enum class LookaheadMode : uint32_t {
+  kAuto = 0,    // derive from min cross-shard delivery latency at setup
+  kOff = 1,     // tick-parallel only (PR 2 behavior)
+  kWindow = 2,  // explicit window, microseconds of virtual time
+};
+
+struct LookaheadSpec {
+  LookaheadMode mode = LookaheadMode::kAuto;
+  SimTime window = 0;  // only read when mode == kWindow
+};
+
+inline bool operator==(const LookaheadSpec& a, const LookaheadSpec& b) {
+  return a.mode == b.mode &&
+         (a.mode != LookaheadMode::kWindow || a.window == b.window);
+}
+inline bool operator!=(const LookaheadSpec& a, const LookaheadSpec& b) {
+  return !(a == b);
+}
+
+/// Parses "auto", "off", or a positive integer microsecond window ("0" is
+/// off). Returns false on anything else.
+bool ParseLookahead(const std::string& s, LookaheadSpec* out);
+std::string FormatLookahead(const LookaheadSpec& spec);
+
 struct ExperimentConfig {
   ProtocolKind protocol = ProtocolKind::kHotStuff1;
   uint32_t n = 32;
@@ -75,6 +102,13 @@ struct ExperimentConfig {
   // yields byte-identical results (see docs/ARCHITECTURE.md, determinism
   // contract).
   uint32_t sim_jobs = 1;
+
+  // Conservative lookahead window for the parallel event loop (--lookahead).
+  // kAuto derives the safe horizon from the topology's minimum cross-shard
+  // delivery latency plus the bandwidth serialization floor; any setting is
+  // byte-identical to any other. Only consulted when sim_jobs > 1, and
+  // forced off (tick-parallel) while event_cap is set.
+  LookaheadSpec lookahead;
 
   // Safety valve against runaway event storms: 0 = unlimited. A truncated
   // run is reported via ExperimentResult::event_cap_hit, never silently.

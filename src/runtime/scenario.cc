@@ -39,7 +39,7 @@ MetricSpec CountMetric(std::string name,
 
 MetricSpec WallClockMetric() {
   return {"wall_ms", [](const ExperimentResult& r) { return r.wall_ms; },
-          [](double v) { return FormatMs(v); }};
+          [](double v) { return FormatMs(v); }, /*deterministic=*/false};
 }
 
 Axis PaperProtocolAxis() {

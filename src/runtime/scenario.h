@@ -32,10 +32,16 @@ using Axis = std::vector<AxisPoint>;
 /// A metric column: extract a raw value from an ExperimentResult, format it
 /// for the human-readable table. `value` and `format` must be pure (they
 /// run per point per emitter, in deterministic spec order).
+///
+/// `deterministic = false` marks a metric whose value varies across runs
+/// (wall_ms is the only one). The machine-readable emitters (CSV/JSON) skip
+/// such columns so their bytes stay identical at any --jobs / --sim-jobs /
+/// --lookahead *and across repeated runs*; tables still show them.
 struct MetricSpec {
   std::string name;
   std::function<double(const ExperimentResult&)> value;
   std::function<std::string(double)> format;
+  bool deterministic = true;
 };
 
 // Stock metrics used by most figure scenarios.

@@ -55,6 +55,17 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
       }
     }
   }
+  if (has_lookahead_) {
+    // Same respect-the-axis rule for --lookahead (par_speedup sweeps it).
+    const bool axis_sweeps_lookahead =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.lookahead != spec.base.lookahead;
+                    });
+    if (!axis_sweeps_lookahead) {
+      for (SweepPoint& p : outcome.points) p.config.lookahead = lookahead_;
+    }
+  }
   outcome.results.resize(outcome.points.size());
 
   auto run_point = [&](size_t i) {
@@ -198,13 +209,36 @@ void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
   if (multi_seed) {
     os << "(± = sample stddev over seeds; 95% CI half-width = 1.96*sd/sqrt(k))\n";
   }
+  // Truncation is never silent: name the points whose simulator stopped at
+  // its event cap (also visible as the event_cap_hit CSV/JSON column).
+  size_t capped = 0;
+  for (const ExperimentResult& r : outcome.results) capped += r.event_cap_hit ? 1 : 0;
+  if (capped > 0) {
+    os << "WARNING: " << capped << " of " << outcome.results.size()
+       << " points hit the simulator event cap - their results are truncated:\n";
+    size_t listed = 0;
+    for (size_t i = 0; i < outcome.points.size() && listed < 8; ++i) {
+      if (!outcome.results[i].event_cap_hit) continue;
+      const SweepPoint& p = outcome.points[i];
+      os << "  [" << (p.table_label.empty() ? "-" : p.table_label) << " | "
+         << (p.row_label.empty() ? "-" : p.row_label) << " | "
+         << (p.col_label.empty() ? "-" : p.col_label) << " | seed " << p.seed
+         << "]\n";
+      ++listed;
+    }
+    if (capped > listed) os << "  ... and " << (capped - listed) << " more\n";
+  }
 }
 
 void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
   const ScenarioSpec& spec = *outcome.spec;
   const std::vector<DiagColumn> diags = DiagColumns(spec.metrics);
   os << "scenario,table,row,col,seed";
-  for (const MetricSpec& m : spec.metrics) os << "," << CsvEscape(m.name);
+  // Nondeterministic metrics (wall_ms) are table-only: the machine-readable
+  // bytes must be identical across repeated runs for the CI diff gates.
+  for (const MetricSpec& m : spec.metrics) {
+    if (m.deterministic) os << "," << CsvEscape(m.name);
+  }
   for (const DiagColumn& d : diags) os << "," << d.name;
   os << "\n";
   for (size_t i = 0; i < outcome.points.size(); ++i) {
@@ -212,7 +246,9 @@ void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
     const ExperimentResult& r = outcome.results[i];
     os << CsvEscape(spec.name) << "," << CsvEscape(p.table_label) << ","
        << CsvEscape(p.row_label) << "," << CsvEscape(p.col_label) << "," << p.seed;
-    for (const MetricSpec& m : spec.metrics) os << "," << FormatDouble(m.value(r));
+    for (const MetricSpec& m : spec.metrics) {
+      if (m.deterministic) os << "," << FormatDouble(m.value(r));
+    }
     for (const DiagColumn& d : diags) os << "," << d.value(r);
     os << "\n";
   }
@@ -230,6 +266,7 @@ void EmitJson(const SweepOutcome& outcome, std::ostream& os) {
        << "\",\"row\":\"" << JsonEscape(p.row_label) << "\",\"col\":\""
        << JsonEscape(p.col_label) << "\",\"seed\":" << p.seed;
     for (const MetricSpec& m : spec.metrics) {
+      if (!m.deterministic) continue;  // see EmitCsv
       os << ",\"" << JsonEscape(m.name) << "\":" << FormatDouble(m.value(r));
     }
     for (const DiagColumn& d : diags) os << ",\"" << d.name << "\":" << d.value(r);
@@ -244,6 +281,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   if (spec.custom_run) return spec.custom_run(options);
 
   SweepRunner runner(options.jobs, options.sim_jobs);
+  if (options.has_lookahead) runner.OverrideLookahead(options.lookahead);
   const SweepOutcome outcome = runner.Run(spec, options.smoke);
   switch (options.format) {
     case ReportFormat::kTable: EmitTables(outcome, os); break;

@@ -25,6 +25,11 @@ struct ScenarioRunOptions {
   // configured value. Ignored when the scenario itself sweeps sim_jobs as
   // an axis (overriding would relabel its rows).
   int sim_jobs = 0;
+  // Lookahead policy for every point (--lookahead); has_lookahead = false
+  // keeps each point's configured value. Like sim_jobs, ignored when the
+  // scenario sweeps lookahead as an axis.
+  bool has_lookahead = false;
+  LookaheadSpec lookahead;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
   ReportFormat format = ReportFormat::kTable;
   std::ostream* out = nullptr;  // default std::cout
@@ -53,12 +58,22 @@ class SweepRunner {
   explicit SweepRunner(int jobs, int sim_jobs = 0)
       : jobs_(jobs < 1 ? 1 : jobs), sim_jobs_(sim_jobs) {}
 
+  /// Forces `spec` onto every point's config (unless the scenario sweeps
+  /// lookahead itself — same respect-the-axis rule as sim_jobs).
+  SweepRunner& OverrideLookahead(const LookaheadSpec& spec) {
+    lookahead_ = spec;
+    has_lookahead_ = true;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
  private:
   int jobs_;
   int sim_jobs_;
+  bool has_lookahead_ = false;
+  LookaheadSpec lookahead_;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

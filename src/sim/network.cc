@@ -17,7 +17,7 @@ Network::Network(Simulator* sim, uint32_t n, NetworkConfig config)
       cpu_busy_until_(n, 0),
       crashed_(n, false),
       ingress_(n),
-      drain_scheduled_(n, false),
+      drain_scheduled_(n, 0),
       messages_sent_by_(n, 0),
       bytes_sent_by_(n, 0),
       messages_dropped_by_(n, 0) {
@@ -49,6 +49,23 @@ void Network::SetAllLatencies(SimTime one_way) {
       latency_[i][j] = (i == j) ? config_.loopback_latency : one_way;
     }
   }
+}
+
+SimTime Network::SerializationFloor() const {
+  return static_cast<SimTime>(static_cast<double>(kMinWireBytes) /
+                              config_.bandwidth_bytes_per_us);
+}
+
+SimTime Network::MinDeliveryLatency() const {
+  if (n_ < 2) return kNoCrossTraffic;
+  SimTime min_latency = kNoCrossTraffic;
+  for (NodeId from = 0; from < n_; ++from) {
+    for (NodeId to = 0; to < n_; ++to) {
+      if (from == to) continue;  // self-delivery stays on the sender's shard
+      min_latency = std::min(min_latency, latency_[from][to]);
+    }
+  }
+  return min_latency + SerializationFloor();
 }
 
 void Network::ImpairNode(NodeId id, SimTime extra_delay) {

@@ -41,6 +41,12 @@ struct NetMessage {
   virtual size_t WireSize() const { return 64; }
 };
 
+/// Smallest wire size any message may report (the leanest header in
+/// consensus/messages.h is 32 bytes). The lookahead horizon's serialization
+/// floor is derived from it: every cross-node send pays at least
+/// kMinWireBytes / bandwidth of egress time before departing.
+inline constexpr size_t kMinWireBytes = 32;
+
 using NetMessagePtr = std::shared_ptr<const NetMessage>;
 
 struct NetworkConfig {
@@ -56,7 +62,8 @@ struct NetworkConfig {
 };
 
 /// A generic fault rule; applies to messages with from_match[from] and
-/// to_match[to] set.
+/// to_match[to] set. `extra_delay` must be >= 0 — the lookahead horizon
+/// (MinDeliveryLatency) relies on faults only ever *adding* delay.
 struct FaultRule {
   std::vector<bool> from_match;
   std::vector<bool> to_match;
@@ -81,6 +88,25 @@ class Network {
   void SetSymmetricLatency(NodeId a, NodeId b, SimTime one_way);
   void SetAllLatencies(SimTime one_way);
   SimTime latency(NodeId from, NodeId to) const { return latency_[from][to]; }
+
+  // --- lookahead horizon -----------------------------------------------------
+  /// Returned by MinDeliveryLatency when no cross-node traffic is possible
+  /// (n < 2): effectively "no bound", safely below any overflow.
+  static constexpr SimTime kNoCrossTraffic = INT64_MAX / 4;
+
+  /// Guaranteed egress-serialization delay of any cross-node message:
+  /// floor(kMinWireBytes / bandwidth). Grows as bandwidth shrinks, so low
+  /// bandwidth widens the safe horizon; at GB/s-class bandwidth it rounds
+  /// to zero and the horizon shrinks to the pure link delay.
+  SimTime SerializationFloor() const;
+
+  /// Conservative lower bound on when any message sent from now on can be
+  /// delivered to a *different* node: min pairwise one-way latency plus the
+  /// serialization floor. Impairments, fault rules, and jitter only add
+  /// delay, so this is a safe per-shard-pair horizon minimum — valid for a
+  /// run's lifetime as long as latencies are only lowered between runs or
+  /// from barrier events followed by a fresh Simulator::SetLookahead.
+  SimTime MinDeliveryLatency() const;
 
   // --- sending ---------------------------------------------------------------
   void Send(NodeId from, NodeId to, NetMessagePtr msg);
@@ -140,7 +166,10 @@ class Network {
   // Per-node ingress queue: messages that arrived while the node's CPU was
   // busy wait here in FIFO order and drain as the CPU frees up.
   std::vector<std::deque<std::pair<NodeId, NetMessagePtr>>> ingress_;
-  std::vector<bool> drain_scheduled_;
+  // One byte per node, NOT vector<bool>: the flag is written from each
+  // node's own shard, and bit-packing would make neighboring nodes' flags
+  // share a word (a data race under the parallel executor).
+  std::vector<uint8_t> drain_scheduled_;
   std::vector<std::pair<int, FaultRule>> rules_;
   int next_rule_id_ = 0;
 

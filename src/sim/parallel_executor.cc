@@ -1,5 +1,6 @@
 #include "sim/parallel_executor.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -9,12 +10,15 @@ namespace hotstuff1::sim {
 
 namespace {
 
-// Context of the tick event the current thread is executing (if any). Used
-// to inherit shards, stage scheduled events, and resolve SyncShared waits.
+// Context of the tick or window event the current thread is executing (if
+// any). Used to inherit shards, stage scheduled events, resolve SyncShared
+// waits, and report per-event virtual time.
 struct TickContext {
   ParallelExecutor* exec = nullptr;
   Simulator* sim = nullptr;
-  size_t idx = 0;
+  size_t idx = 0;    // tick mode: index into the current round
+  void* win = nullptr;  // window mode: the WindowEvent being executed
+  SimTime time = 0;  // the event's own virtual timestamp
 };
 thread_local TickContext tls_ctx;
 
@@ -41,20 +45,35 @@ bool ParallelExecutor::StageIfInTick(Simulator* sim, SimTime t, ShardId shard,
                                      Simulator::Callback* cb) {
   TickContext& ctx = tls_ctx;
   if (ctx.exec == nullptr || ctx.sim != sim) return false;
+  if (ctx.win != nullptr) {
+    ctx.exec->StageWindow(static_cast<WindowEvent*>(ctx.win), t, shard, cb);
+    return true;
+  }
   (*ctx.exec->round_)[ctx.idx].staged.push_back(
-      StagedEvent{t, shard, std::move(*cb)});
+      StagedEvent{t, shard, std::move(*cb), nullptr});
   return true;
 }
 
 ShardId ParallelExecutor::InheritedShard() {
   const TickContext& ctx = tls_ctx;
   if (ctx.exec == nullptr) return kShardSerial;
+  if (ctx.win != nullptr) return static_cast<WindowEvent*>(ctx.win)->shard;
   return (*ctx.exec->round_)[ctx.idx].shard;
+}
+
+SimTime ParallelExecutor::EffectiveNow(const Simulator* sim, SimTime fallback) {
+  const TickContext& ctx = tls_ctx;
+  if (ctx.exec == nullptr || ctx.sim != sim) return fallback;
+  return ctx.time;
 }
 
 void ParallelExecutor::Drain(SimTime limit) {
   HS1_CHECK(!draining_) << "Simulator::Run/RunUntil is not reentrant";
   draining_ = true;
+  // Lookahead requires exact-cap truncation to be impossible mid-window, so
+  // a finite event cap pins the executor to the tick path (see header).
+  const SimTime window = sim_->lookahead_;
+  const bool windowed = window > 1 && sim_->event_cap_ == UINT64_MAX;
   auto& q = sim_->queue_;
   std::vector<TickEvent> round;
   while (!q.empty() && q.top().time <= limit) {
@@ -64,39 +83,51 @@ void ParallelExecutor::Drain(SimTime limit) {
     }
     const SimTime t = q.top().time;
     sim_->now_ = t;
-    bool capped = false;
-    PopRound(t, &round);
-    while (!round.empty()) {
-      if (sim_->events_processed_ + round.size() > sim_->event_cap_) {
-        // The cap lands inside this round: put the events back (sequence
-        // numbers preserved) and truncate one event at a time exactly like
-        // the serial loop would.
-        for (TickEvent& ev : round) {
-          sim_->RepushEvent(Simulator::Event{t, ev.seq, ev.shard, std::move(ev.cb)});
-        }
-        round.clear();
-        SerialCapTail(limit);
-        capped = true;
-        break;
-      }
-      RunRound(round);
-      sim_->events_processed_ += round.size();
-      // Deterministic commit: staged events enter the queue in (parent
-      // dispatch order, call order) — the order the serial loop would have
-      // assigned sequence numbers in.
-      for (TickEvent& ev : round) {
-        for (StagedEvent& s : ev.staged) {
-          sim_->PushEvent(s.time, s.shard, std::move(s.cb));
-        }
-      }
-      round.clear();
-      // Zero-delay follow-ons run within the same tick, after everything
-      // that was already queued at this timestamp (their seqs are larger).
-      PopRound(t, &round);
+    if (!windowed || q.top().shard == kShardSerial) {
+      // Tick path: also the barrier fallback under lookahead (the tick
+      // machinery orders barriers against their same-tick neighbors).
+      if (RunTickRounds(t, limit, round)) break;
+      continue;
     }
-    if (capped) break;
+    // Events eligible for the window: time <= limit and time < t + window.
+    const SimTime span = std::min<SimTime>(window - 1, limit - t);
+    PopWindow(/*horizon=*/t + span + 1);
+    RunWindow();
   }
   draining_ = false;
+}
+
+bool ParallelExecutor::RunTickRounds(SimTime t, SimTime limit,
+                                     std::vector<TickEvent>& round) {
+  PopRound(t, &round);
+  while (!round.empty()) {
+    if (sim_->events_processed_ + round.size() > sim_->event_cap_) {
+      // The cap lands inside this round: put the events back (sequence
+      // numbers preserved) and truncate one event at a time exactly like
+      // the serial loop would.
+      for (TickEvent& ev : round) {
+        sim_->RepushEvent(Simulator::Event{t, ev.seq, ev.shard, std::move(ev.cb)});
+      }
+      round.clear();
+      SerialCapTail(limit);
+      return true;
+    }
+    RunRound(round);
+    sim_->events_processed_ += round.size();
+    // Deterministic commit: staged events enter the queue in (parent
+    // dispatch order, call order) — the order the serial loop would have
+    // assigned sequence numbers in.
+    for (TickEvent& ev : round) {
+      for (StagedEvent& s : ev.staged) {
+        sim_->PushEvent(s.time, s.shard, std::move(s.cb));
+      }
+    }
+    round.clear();
+    // Zero-delay follow-ons run within the same tick, after everything
+    // that was already queued at this timestamp (their seqs are larger).
+    PopRound(t, &round);
+  }
+  return false;
 }
 
 void ParallelExecutor::SerialCapTail(SimTime limit) {
@@ -104,6 +135,169 @@ void ParallelExecutor::SerialCapTail(SimTime limit) {
   while (!q.empty() && q.top().time <= limit) {
     if (!sim_->Step()) break;  // Step sets cap_hit_ at the cap
   }
+}
+
+void ParallelExecutor::PopWindow(SimTime horizon) {
+  auto& q = sim_->queue_;
+  // The pop order is the serial execution order (time, seq); stopping at the
+  // first barrier keeps the popped set a clean prefix of it.
+  while (!q.empty() && q.top().time < horizon && q.top().shard != kShardSerial) {
+    Simulator::Event ev = std::move(const_cast<Simulator::Event&>(q.top()));
+    q.pop();
+    auto we = std::make_unique<WindowEvent>();
+    we->time = ev.time;
+    we->shard = ev.shard;
+    we->cb = std::move(ev.cb);
+    we->key = {static_cast<uint64_t>(ev.time), 0, ev.seq};
+    win_pending_.insert(win_pending_.end(), we.get());
+    win_shard_[we->shard].insert(we.get());
+    win_events_.push_back(std::move(we));
+  }
+  win_outstanding_ = win_events_.size();
+  // Initially claimable: each shard's first event.
+  for (const auto& [shard, events] : win_shard_) {
+    win_ready_.insert(*events.begin());
+  }
+  win_horizon_ = horizon;
+  // A follow-on may run inside the window only if the serial loop would
+  // reach it before anything still queued: strictly before the first
+  // unpopped event (a barrier, or the first event at/after the horizon) —
+  // at equal timestamps the queued event's smaller sequence number wins.
+  win_inline_ceiling_ =
+      q.empty() ? horizon : std::min<SimTime>(horizon, q.top().time);
+}
+
+void ParallelExecutor::RunWindow() {
+  const bool parallel = win_outstanding_ > 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_active_ = true;
+    ++window_gen_;
+  }
+  if (parallel) work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    WindowLoopLocked(lk);
+    window_active_ = false;
+    // Wait for every worker to leave the window loop before the commit
+    // below mutates the window structures.
+    done_cv_.wait(lk, [&] { return busy_workers_ == 0; });
+  }
+  CommitWindow();
+}
+
+void ParallelExecutor::WindowLoopLocked(std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    if (!win_ready_.empty()) {
+      // Claim the smallest ready event: this keeps the globally smallest
+      // incomplete event always claimed (or claimable), the progress
+      // guarantee that makes SyncShared's global-minimum wait deadlock-free.
+      WindowEvent* ev = *win_ready_.begin();
+      win_ready_.erase(win_ready_.begin());
+      lk.unlock();
+      RunWindowEvent(ev);
+      lk.lock();
+      CompleteWindowEventLocked(ev);
+      continue;
+    }
+    if (win_outstanding_ == 0) return;
+    win_ready_cv_.wait(lk);
+  }
+}
+
+void ParallelExecutor::CompleteWindowEventLocked(WindowEvent* ev) {
+  const bool was_min = *win_pending_.begin() == ev;
+  win_pending_.erase(ev);
+  auto shard_it = win_shard_.find(ev->shard);
+  shard_it->second.erase(ev);
+  if (shard_it->second.empty()) {
+    win_shard_.erase(shard_it);
+  } else {
+    // The shard's next event becomes claimable (only a head can have been
+    // claimed, so the successor is necessarily unclaimed).
+    win_ready_.insert(*shard_it->second.begin());
+    win_ready_cv_.notify_one();
+  }
+  --win_outstanding_;
+  if (win_outstanding_ == 0) {
+    win_ready_cv_.notify_all();
+    win_min_cv_.notify_all();
+  } else if (was_min) {
+    // A new global minimum: exactly what SyncShared waiters poll for.
+    win_min_cv_.notify_all();
+  }
+}
+
+void ParallelExecutor::RunWindowEvent(WindowEvent* ev) {
+  TickContext saved = tls_ctx;
+  tls_ctx = TickContext{this, sim_, 0, ev, ev->time};
+  ev->cb();
+  tls_ctx = saved;
+}
+
+void ParallelExecutor::StageWindow(WindowEvent* parent, SimTime t, ShardId shard,
+                                   Simulator::Callback* cb) {
+  if (shard == parent->shard && t < win_inline_ceiling_) {
+    // The serial loop would execute this event inside the current window,
+    // interleaved with its shard's remaining events. Register it as an
+    // inline window event at its serial position; its parent's staged list
+    // keeps a marker so the commit replay burns the matching seq.
+    auto child = std::make_unique<WindowEvent>();
+    child->time = t;
+    child->shard = shard;
+    child->cb = std::move(*cb);
+    child->key.reserve(parent->key.size() + 3);
+    child->key.push_back(static_cast<uint64_t>(t));
+    child->key.push_back(1);
+    child->key.insert(child->key.end(), parent->key.begin(), parent->key.end());
+    child->key.push_back(parent->staged.size());
+    WindowEvent* raw = child.get();
+    parent->staged.push_back(StagedEvent{t, shard, {}, raw});
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      win_events_.push_back(std::move(child));
+      win_pending_.insert(raw);
+      win_shard_[raw->shard].insert(raw);
+      ++win_outstanding_;
+      // No wakeups: the child sorts after its still-running parent (same
+      // shard), so it cannot be claimable or the global minimum yet.
+    }
+    return;
+  }
+  // Cross-shard scheduling must land at or beyond the horizon — that is the
+  // lookahead contract (Simulator::SetLookahead). Anything closer could be
+  // ordered before an event another shard has already executed.
+  HS1_CHECK(shard == parent->shard || t >= win_horizon_)
+      << "cross-shard event scheduled inside the lookahead window (target t=" << t
+      << ", horizon=" << win_horizon_
+      << "): the configured lookahead exceeds the minimum cross-shard latency";
+  parent->staged.push_back(StagedEvent{t, shard, std::move(*cb), nullptr});
+}
+
+void ParallelExecutor::CommitWindow() {
+  // Replay the executed events in serial order, assigning the sequence
+  // numbers the serial loop would have: each staged entry consumes one, and
+  // only the non-inline ones actually enter the queue.
+  std::vector<WindowEvent*> order;
+  order.reserve(win_events_.size());
+  for (const auto& ev : win_events_) order.push_back(ev.get());
+  std::sort(order.begin(), order.end(),
+            [](const WindowEvent* a, const WindowEvent* b) { return a->key < b->key; });
+  SimTime last_time = sim_->now_;
+  for (WindowEvent* ev : order) {
+    if (ev->time > last_time) last_time = ev->time;
+    for (StagedEvent& s : ev->staged) {
+      if (s.inline_child != nullptr) {
+        ++sim_->next_seq_;  // the serial loop numbered this push too
+      } else {
+        sim_->PushEvent(s.time, s.shard, std::move(s.cb));
+      }
+    }
+  }
+  sim_->events_processed_ += win_events_.size();
+  sim_->now_ = last_time;
+  win_events_.clear();
+  win_outstanding_ = 0;
 }
 
 void ParallelExecutor::PopRound(SimTime t, std::vector<TickEvent>* out) {
@@ -195,11 +389,22 @@ void ParallelExecutor::RunSegment(size_t begin, size_t end) {
 
 void ParallelExecutor::WorkerLoop() {
   uint64_t seen_gen = 0;
+  uint64_t seen_window_gen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    work_cv_.wait(
-        lk, [&] { return stop_ || (segment_active_ && segment_gen_ != seen_gen); });
+    work_cv_.wait(lk, [&] {
+      return stop_ || (segment_active_ && segment_gen_ != seen_gen) ||
+             (window_active_ && window_gen_ != seen_window_gen);
+    });
     if (stop_) return;
+    if (window_active_ && window_gen_ != seen_window_gen) {
+      seen_window_gen = window_gen_;
+      ++busy_workers_;
+      WindowLoopLocked(lk);
+      --busy_workers_;
+      if (busy_workers_ == 0) done_cv_.notify_all();
+      continue;
+    }
     seen_gen = segment_gen_;
     const size_t end = segment_end_;
     ++busy_workers_;
@@ -220,7 +425,7 @@ void ParallelExecutor::RunEvent(size_t idx) {
   // Per-shard chain: one shard's events execute strictly in sequence order.
   if (ev.prev_same_shard >= 0) WaitEventDone(static_cast<size_t>(ev.prev_same_shard));
   TickContext saved = tls_ctx;
-  tls_ctx = TickContext{this, sim_, idx};
+  tls_ctx = TickContext{this, sim_, idx, nullptr, sim_->now_};
   ev.cb();
   tls_ctx = saved;
   MarkDone(idx);
@@ -250,6 +455,16 @@ void ParallelExecutor::MarkDone(size_t idx) {
 void ParallelExecutor::SyncShared() {
   const TickContext& ctx = tls_ctx;
   if (ctx.exec != this) return;  // not inside one of this executor's ticks
+  if (ctx.win != nullptr) {
+    // Window mode: proceed once the caller is the globally smallest
+    // incomplete event — every event the serial loop would have run first
+    // has completed, and (children sorting after their incomplete parents)
+    // none can appear later.
+    WindowEvent* self = static_cast<WindowEvent*>(ctx.win);
+    std::unique_lock<std::mutex> lk(mu_);
+    win_min_cv_.wait(lk, [&] { return *win_pending_.begin() == self; });
+    return;
+  }
   WaitAllDoneBelow(ctx.idx);
 }
 

@@ -34,6 +34,32 @@
 // storms, broadcast deliveries (small messages serialize onto the same
 // arrival tick), and quorum formation — all n replicas verifying signatures
 // or executing a freshly committed batch at the same virtual instant.
+//
+// Lookahead windows (Simulator::SetLookahead(W), W > 1)
+//   When the caller guarantees that no event ever schedules onto a
+//   *different* shard less than W microseconds after its own timestamp (the
+//   classic conservative-PDES safe horizon; the experiment layer derives W
+//   from the network's minimum cross-node delivery latency), the executor
+//   widens a round from one tick to every queued event in [t, t+W):
+//   * Events are totally ordered by a serial-order key that reproduces the
+//     (time, seq) order the serial loop would execute: popped events keep
+//     their queue key; events a shard schedules for itself inside the window
+//     ("inline" events — drain callbacks, short timers) sort after every
+//     event that already existed at their timestamp, in (parent order, call
+//     order) — exactly where the serial loop's fresh sequence numbers would
+//     have put them.
+//   * One shard's events run strictly in key order; different shards run
+//     concurrently; SyncShared blocks until the caller is the globally
+//     smallest incomplete event, so gated domains still see exact serial
+//     order even across timestamps.
+//   * The window stops before the first kShardSerial barrier, and all
+//     cross-window scheduling is committed *after* the window by replaying
+//     the executed events in key order, assigning global sequence numbers in
+//     exactly the order the serial loop would have (inline events burn the
+//     sequence number they would have consumed).
+//   Windows are disabled while an event cap is set: serial cap truncation
+//   stops mid-tick at an exact event, which cannot be reproduced once later
+//   timestamps have already executed — capped runs stay tick-parallel.
 
 #ifndef HOTSTUFF1_SIM_PARALLEL_EXECUTOR_H_
 #define HOTSTUFF1_SIM_PARALLEL_EXECUTOR_H_
@@ -41,7 +67,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -87,11 +115,20 @@ class ParallelExecutor {
   /// Shard of the event the calling thread is executing, or kShardSerial.
   static ShardId InheritedShard();
 
+  /// Virtual time of the event the calling thread is executing for `sim`,
+  /// or `fallback` when the thread is not inside one of its events.
+  static SimTime EffectiveNow(const Simulator* sim, SimTime fallback);
+
  private:
+  struct WindowEvent;
+
   struct StagedEvent {
     SimTime time;
     ShardId shard;
     Simulator::Callback cb;
+    // Set when the scheduled event ran inside the same window; the replay
+    // then only burns the sequence number the serial loop would have used.
+    WindowEvent* inline_child = nullptr;
   };
   struct TickEvent {
     uint64_t seq = 0;
@@ -101,9 +138,58 @@ class ParallelExecutor {
     std::vector<StagedEvent> staged;
   };
 
+  /// Total order reproducing the serial loop's (time, seq) execution order
+  /// across popped and inline events: popped = {time, 0, seq}; inline =
+  /// {time, 1, parent key..., call index}. Lexicographic comparison (with
+  /// the shorter key first on a common prefix) puts an inline event after
+  /// everything that existed at its timestamp when it was scheduled, in
+  /// (parent order, call order) — where its fresh sequence number would
+  /// have placed it.
+  using OrderKey = std::vector<uint64_t>;
+
+  struct WindowEvent {
+    SimTime time = 0;
+    ShardId shard = kShardSerial;
+    Simulator::Callback cb;
+    OrderKey key;
+    std::vector<StagedEvent> staged;
+  };
+
+  struct KeyOrder {
+    bool operator()(const WindowEvent* a, const WindowEvent* b) const {
+      return a->key < b->key;
+    }
+  };
+
   /// Moves every queued event with time == t into `out` (sequence order),
   /// recording per-shard chain predecessors.
   void PopRound(SimTime t, std::vector<TickEvent>* out);
+  /// Runs the full tick at time t (sub-rounds, zero-delay follow-ons,
+  /// deterministic commit). Returns true when the event cap truncated it.
+  bool RunTickRounds(SimTime t, SimTime limit, std::vector<TickEvent>& round);
+
+  // --- lookahead window machinery -------------------------------------------
+  /// Pops the serial-order prefix of queued events with time < horizon,
+  /// stopping before the first kShardSerial barrier, and derives the inline
+  /// ceiling (below which same-shard follow-ons run inside the window).
+  void PopWindow(SimTime horizon);
+  /// Executes the popped window on the pool + this thread, then commits.
+  void RunWindow();
+  /// Claims and runs window events until none remain (lock held at entry
+  /// and exit; released around each callback).
+  void WindowLoopLocked(std::unique_lock<std::mutex>& lk);
+  /// Retires a finished event: unlinks it, promotes its shard successor to
+  /// the ready set, and wakes the waiters that can now make progress.
+  void CompleteWindowEventLocked(WindowEvent* ev);
+  void RunWindowEvent(WindowEvent* ev);
+  /// Called from a window event's callback (any worker): routes a
+  /// scheduling request to an inline window event or to the staged list.
+  void StageWindow(WindowEvent* parent, SimTime t, ShardId shard,
+                   Simulator::Callback* cb);
+  /// Replays executed events in serial-order keys, assigning the global
+  /// sequence numbers the serial loop would have and enqueueing every
+  /// non-inline staged event; advances the clock and the processed count.
+  void CommitWindow();
   /// Runs one sub-round (a batch of same-timestamp events) with per-shard
   /// chaining, barrier handling, and completion tracking.
   void RunRound(std::vector<TickEvent>& round);
@@ -134,9 +220,29 @@ class ParallelExecutor {
   size_t done_watermark_ = 0;  // all events with idx < watermark completed
   size_t busy_workers_ = 0;    // workers inside a segment's task loop
 
+  // Window state (valid while RunWindow is active). Incomplete events are
+  // indexed three ways, all in serial-order keys: globally (SyncShared's
+  // "am I the minimum" check is O(1) at begin()), per shard (to promote the
+  // successor when a head completes), and a ready set holding exactly the
+  // unclaimed shard heads (claiming pops its minimum in O(log n)). Inline
+  // events register under the lock while their parent runs; they sort after
+  // the still-incomplete parent, so they never enter the ready set on
+  // registration and the global-minimum predicate stays monotone.
+  std::vector<std::unique_ptr<WindowEvent>> win_events_;  // all, owned
+  std::set<WindowEvent*, KeyOrder> win_pending_;          // all incomplete
+  std::set<WindowEvent*, KeyOrder> win_ready_;            // claimable heads
+  std::unordered_map<ShardId, std::set<WindowEvent*, KeyOrder>> win_shard_;
+  size_t win_outstanding_ = 0;
+  SimTime win_horizon_ = 0;         // cross-shard staging must land >= this
+  SimTime win_inline_ceiling_ = 0;  // same-shard staging below runs inline
+  bool window_active_ = false;
+  uint64_t window_gen_ = 0;
+
   std::mutex mu_;
-  std::condition_variable work_cv_;  // segment opened / stop
-  std::condition_variable done_cv_;  // an event completed
+  std::condition_variable work_cv_;       // segment/window opened / stop
+  std::condition_variable done_cv_;       // an event completed / workers idle
+  std::condition_variable win_ready_cv_;  // claimable event added / window end
+  std::condition_variable win_min_cv_;    // global minimum retired / window end
   bool stop_ = false;
   bool draining_ = false;  // reentrancy guard
 };

@@ -10,16 +10,33 @@ namespace hotstuff1::sim {
 Simulator::Simulator() = default;
 Simulator::~Simulator() = default;
 
+SimTime Simulator::NowInExecutor() const {
+  // Under a lookahead window, concurrently running events sit at different
+  // virtual times; each thread sees the timestamp of the event it executes.
+  return ParallelExecutor::EffectiveNow(this, now_);
+}
+
 void Simulator::At(SimTime t, Callback cb) {
   AtShard(t, ParallelExecutor::InheritedShard(), std::move(cb));
 }
 
 void Simulator::AtShard(SimTime t, ShardId shard, Callback cb) {
-  if (t < now_) t = now_;
-  // During a parallel tick, scheduling requests are staged per parent event
-  // and committed in deterministic order after the round.
+  // Clamp to the *executing event's* time (== now_ on the serial and tick
+  // paths), so a window event never schedules into its own past.
+  const SimTime now = Now();
+  if (t < now) t = now;
+  // During a parallel tick or window, scheduling requests are staged per
+  // parent event and committed in deterministic order after the round.
   if (ParallelExecutor::StageIfInTick(this, t, shard, &cb)) return;
   PushEvent(t, shard, std::move(cb));
+}
+
+void Simulator::SetLookahead(SimTime window) {
+  if (window < 0) window = 0;
+  // Cap so `tick + window` can never overflow the virtual clock.
+  constexpr SimTime kMaxLookahead = 3600 * kSecond;
+  if (window > kMaxLookahead) window = kMaxLookahead;
+  lookahead_ = window;
 }
 
 void Simulator::SetJobs(int jobs) {

@@ -6,6 +6,11 @@
 // processes same-timestamp events concurrently while preserving exactly the
 // sequential semantics (see parallel_executor.h for the determinism
 // contract and docs/ARCHITECTURE.md for the sharding model).
+// SetLookahead(W>1) additionally lets the executor run events whose
+// timestamps fall within a conservative safe horizon of W microseconds
+// concurrently — callers must guarantee that no event ever schedules onto a
+// *different* shard less than W ahead of its own timestamp (the experiment
+// layer derives W from the network's minimum cross-node delivery latency).
 
 #ifndef HOTSTUFF1_SIM_SIMULATOR_H_
 #define HOTSTUFF1_SIM_SIMULATOR_H_
@@ -57,7 +62,12 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  /// Virtual time of the event the calling thread is executing; outside any
+  /// event, the global clock. The distinction matters only under a lookahead
+  /// window, where events at different timestamps are in flight at once —
+  /// callbacks always see their own timestamp, exactly like the serial loop.
+  /// Serial runs (no executor) keep the plain-load fast path.
+  SimTime Now() const { return exec_ == nullptr ? now_ : NowInExecutor(); }
 
   /// Schedules `cb` at absolute virtual time `t` (clamped to now). The event
   /// inherits the shard of the event currently executing (a replica's
@@ -71,11 +81,11 @@ class Simulator {
   void AtShard(SimTime t, ShardId shard, Callback cb);
 
   /// Schedules `cb` after `delay` from now (shard-inheriting, like At).
-  void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+  void After(SimTime delay, Callback cb) { At(Now() + delay, std::move(cb)); }
 
   /// Schedules `cb` after `delay` on an explicit shard.
   void AfterShard(SimTime delay, ShardId shard, Callback cb) {
-    AtShard(now_ + delay, shard, std::move(cb));
+    AtShard(Now() + delay, shard, std::move(cb));
   }
 
   /// Attaches (jobs > 1) or detaches (jobs <= 1) the parallel executor.
@@ -83,6 +93,17 @@ class Simulator {
   /// from inside a callback.
   void SetJobs(int jobs);
   int jobs() const;
+
+  /// Sets the conservative lookahead window, in microseconds of virtual
+  /// time. 0 or 1 (the default) keeps the executor tick-parallel; W > 1 lets
+  /// it run events within [t, t+W) concurrently. Contract: after this call,
+  /// no event may schedule onto a different shard less than W after its own
+  /// timestamp (checked at runtime). Byte-identical output at any value.
+  /// Ignored without an executor; also ignored while an event cap is set,
+  /// because exact serial-equivalent cap truncation cannot be guaranteed
+  /// once events from several timestamps are in flight at once.
+  void SetLookahead(SimTime window);
+  SimTime lookahead() const { return lookahead_; }
 
   /// Serial-domain gate: when called from a callback during a parallel tick,
   /// blocks until every event ordered before the caller has completed, so
@@ -128,6 +149,9 @@ class Simulator {
     }
   };
 
+  /// Slow path of Now(): consults the executor's thread-local event context.
+  SimTime NowInExecutor() const;
+
   /// Pushes with a fresh sequence number (no clamp, no staging).
   void PushEvent(SimTime t, ShardId shard, Callback cb) {
     queue_.push(Event{t, next_seq_++, shard, std::move(cb)});
@@ -137,6 +161,7 @@ class Simulator {
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   SimTime now_ = 0;
+  SimTime lookahead_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   uint64_t event_cap_ = UINT64_MAX;

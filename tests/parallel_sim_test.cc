@@ -95,6 +95,73 @@ TEST(ParallelExecutorTest, SyncSharedOrdersSharedDomain) {
   EXPECT_EQ(run(8), serial);
 }
 
+// A lookahead-window workout over raw simulator events: shards start at
+// staggered timestamps inside one safe horizon, re-schedule themselves at
+// sub-window delays (inline events), talk to a SyncShared-gated shared log,
+// cross shards only at >= the window, and run into a barrier that truncates
+// the window mid-stream. Every observable must match the serial loop.
+struct WindowScriptOutcome {
+  std::vector<std::vector<int>> logs;
+  std::vector<int> shared;
+  SimTime now = 0;
+  uint64_t events = 0;
+
+  bool operator==(const WindowScriptOutcome& o) const {
+    return logs == o.logs && shared == o.shared && now == o.now &&
+           events == o.events;
+  }
+};
+
+WindowScriptOutcome RunWindowScript(int jobs, SimTime window) {
+  constexpr int kShards = 4;
+  Simulator sim;
+  sim.SetJobs(jobs);
+  sim.SetLookahead(window);
+  WindowScriptOutcome out;
+  out.logs.resize(kShards);
+
+  for (ShardId s = 0; s < kShards; ++s) {
+    // Staggered starts: under a window of >= kShards the whole group is one
+    // round; under a smaller window it splits. Either must match serial.
+    sim.AtShard(10 + s, s, [&, s] {
+      out.logs[s].push_back(1);
+      // Same-tick follow-on (inline at the parent's own timestamp).
+      sim.After(0, [&, s] { out.logs[s].push_back(2); });
+      // Sub-window self-reschedule (inline at a later timestamp), which
+      // itself crosses shards at a horizon-respecting distance.
+      sim.After(1, [&, s] {
+        out.logs[s].push_back(3);
+        sim.AtShard(sim.Now() + window + 4, (s + 1) % kShards, [&, s] {
+          out.logs[(s + 1) % kShards].push_back(100 + static_cast<int>(s));
+        });
+      });
+      // Shared-domain access in exact serial order.
+      sim.After(2, [&, s] {
+        sim.SyncShared();
+        out.shared.push_back(static_cast<int>(s));
+      });
+    });
+  }
+  // A barrier inside the first horizon: windows must stop in front of it,
+  // and same-shard follow-ons past it must wait for it.
+  sim.At(12, [&] { out.shared.push_back(-1); });
+  sim.Run();
+  out.now = sim.Now();
+  out.events = sim.EventsProcessed();
+  return out;
+}
+
+TEST(ParallelExecutorTest, WindowScriptMatchesSerialAtAnyWindow) {
+  for (SimTime window : {SimTime{0}, SimTime{2}, SimTime{6}, SimTime{50}}) {
+    const WindowScriptOutcome serial = RunWindowScript(1, window);
+    ASSERT_EQ(serial.shared.size(), 5u);  // 4 shard entries + the barrier
+    for (int jobs : {2, 4, 8}) {
+      EXPECT_EQ(RunWindowScript(jobs, window), serial)
+          << "jobs=" << jobs << " window=" << window;
+    }
+  }
+}
+
 TEST(ParallelExecutorTest, EventCapTruncatesIdentically) {
   auto run = [](int jobs) {
     Simulator sim;
@@ -156,10 +223,36 @@ TEST(ParallelExperimentTest, ByteIdenticalAcrossSimJobs) {
   for (ProtocolKind kind : {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff1,
                             ProtocolKind::kHotStuff1Slotted}) {
     ExperimentConfig cfg = SmallConfig(kind);
+    cfg.lookahead = {LookaheadMode::kOff, 0};
     const ExperimentResult serial = RunExperiment(cfg);
     EXPECT_TRUE(serial.safety_ok);
     for (uint32_t jobs : {4u, 8u}) {
       cfg.sim_jobs = jobs;
+      ExpectSameResult(RunExperiment(cfg), serial);
+    }
+  }
+}
+
+// The lookahead acceptance gate at the experiment level: every deterministic
+// field agrees between the serial loop, the tick-parallel executor, and the
+// lookahead window (auto and explicit), at several worker counts.
+TEST(ParallelExperimentTest, ByteIdenticalAcrossLookahead) {
+  for (ProtocolKind kind : {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff1}) {
+    ExperimentConfig cfg = SmallConfig(kind);
+    cfg.lookahead = {LookaheadMode::kOff, 0};
+    const ExperimentResult serial = RunExperiment(cfg);
+    EXPECT_TRUE(serial.safety_ok);
+    struct Variant {
+      uint32_t sim_jobs;
+      LookaheadSpec lookahead;
+    };
+    for (const Variant v :
+         {Variant{4, {LookaheadMode::kAuto, 0}},
+          Variant{8, {LookaheadMode::kAuto, 0}},
+          Variant{4, {LookaheadMode::kWindow, 100}},
+          Variant{8, {LookaheadMode::kOff, 0}}}) {
+      cfg.sim_jobs = v.sim_jobs;
+      cfg.lookahead = v.lookahead;
       ExpectSameResult(RunExperiment(cfg), serial);
     }
   }
@@ -172,29 +265,79 @@ TEST(ParallelExperimentTest, ByteIdenticalUnderFaultsAndGeo) {
   cfg.topology = sim::Topology::Geo(cfg.n, 3);
   cfg.view_timer = Millis(1200);
   cfg.delta = Millis(160);
+  cfg.lookahead = {LookaheadMode::kOff, 0};
   const ExperimentResult serial = RunExperiment(cfg);
   cfg.sim_jobs = 8;
+  ExpectSameResult(RunExperiment(cfg), serial);
+  // Geo windows are wide (min cross-region hop); the adversary must still
+  // be invisible in them.
+  cfg.lookahead = {LookaheadMode::kAuto, 0};
+  ExpectSameResult(RunExperiment(cfg), serial);
+}
+
+// Capped runs stay deterministic too: lookahead degrades to tick-parallel
+// so truncation lands on exactly the serial event.
+TEST(ParallelExperimentTest, ByteIdenticalUnderEventCapWithLookahead) {
+  ExperimentConfig cfg = SmallConfig(ProtocolKind::kHotStuff1);
+  cfg.event_cap = 30000;
+  cfg.lookahead = {LookaheadMode::kOff, 0};
+  const ExperimentResult serial = RunExperiment(cfg);
+  EXPECT_TRUE(serial.event_cap_hit);
+  cfg.sim_jobs = 8;
+  cfg.lookahead = {LookaheadMode::kAuto, 0};
   ExpectSameResult(RunExperiment(cfg), serial);
 }
 
 // The acceptance gate: the fig8_scalability sweep's machine-readable output
-// is byte-identical at --sim-jobs=1 and --sim-jobs=8 (and at any --jobs).
+// is byte-identical at any --sim-jobs x --lookahead (and at any --jobs).
 TEST(ParallelExperimentTest, Fig8ScalabilityCsvByteIdentical) {
   const ScenarioSpec* spec = ScenarioRegistry::Instance().Find("fig8_scalability");
   ASSERT_NE(spec, nullptr);
 
-  auto run_csv = [&](int jobs, int sim_jobs) {
+  auto run_csv = [&](int jobs, int sim_jobs, const char* lookahead) {
     SweepRunner runner(jobs, sim_jobs);
+    LookaheadSpec spec_la;
+    EXPECT_TRUE(ParseLookahead(lookahead, &spec_la)) << lookahead;
+    runner.OverrideLookahead(spec_la);
     const SweepOutcome outcome = runner.Run(*spec, /*smoke=*/true);
     std::ostringstream os;
     EmitCsv(outcome, os);
     return os.str();
   };
-  const std::string baseline = run_csv(/*jobs=*/1, /*sim_jobs=*/1);
+  const std::string baseline = run_csv(/*jobs=*/1, /*sim_jobs=*/1, "off");
   EXPECT_FALSE(baseline.empty());
-  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/1), baseline);
-  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/8), baseline);
-  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/4), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/1, "off"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/8, "off"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/4, "off"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/4, "auto"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/8, "auto"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/8, "400"), baseline);
+}
+
+// par_speedup sweeps sim_jobs and lookahead itself: its machine-readable
+// output must be byte-identical across repeated runs (wall_ms is table-only)
+// and across CLI overrides (which the axis-respect rule ignores).
+TEST(ParallelExperimentTest, ParSpeedupCsvByteIdentical) {
+  const ScenarioSpec* spec = ScenarioRegistry::Instance().Find("par_speedup");
+  ASSERT_NE(spec, nullptr);
+
+  auto run_csv = [&](int jobs, int sim_jobs, LookaheadMode mode) {
+    SweepRunner runner(jobs, sim_jobs);
+    runner.OverrideLookahead({mode, 0});
+    const SweepOutcome outcome = runner.Run(*spec, /*smoke=*/true);
+    std::ostringstream os;
+    EmitCsv(outcome, os);
+    return os.str();
+  };
+  const std::string baseline = run_csv(1, 1, LookaheadMode::kOff);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline.find("wall_ms"), std::string::npos)
+      << "wall_ms must not reach the machine-readable output";
+  // Repeated run: wall-clock noise must not leak into the bytes.
+  EXPECT_EQ(run_csv(1, 1, LookaheadMode::kOff), baseline);
+  EXPECT_EQ(run_csv(2, 4, LookaheadMode::kOff), baseline);
+  EXPECT_EQ(run_csv(1, 8, LookaheadMode::kAuto), baseline);
+  EXPECT_EQ(run_csv(2, 1, LookaheadMode::kAuto), baseline);
 }
 
 }  // namespace

@@ -43,13 +43,18 @@ void PrintUsage(std::FILE* out) {
   --seed=<u64>                  (default 1)
   --sim-jobs=<N>                parallel event-loop threads (default 1;
                                 results byte-identical at any value)
+  --lookahead=auto|off|<us>     lookahead window for the parallel event loop
+                                (default auto; byte-identical at any value)
+  --event_cap=<N>               stop a runaway run after N events (default 0 =
+                                unlimited; truncation is reported, never silent)
   --bandwidth_bytes_per_us=<B>  per-node egress bandwidth (default 2000)
   --paper_point                 throughput at saturation + light-load latency
 
 Registered scenarios (the hs1bench sweep engine):
-  --list                        enumerate registered scenarios
+  --list                        enumerate registered scenarios with their axes
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
+  (--sim-jobs / --lookahead apply to scenario points too)
 )");
 }
 
@@ -116,6 +121,18 @@ int RunMain(int argc, char** argv) {
     return Usage();
   }
   cfg.sim_jobs = static_cast<uint32_t>(sim_jobs);
+  if (flags.Has("lookahead") &&
+      !ParseLookahead(flags.GetString("lookahead", ""), &cfg.lookahead)) {
+    std::fprintf(stderr, "bad --lookahead '%s' (want auto|off|<microseconds>)\n",
+                 flags.GetString("lookahead", "").c_str());
+    return Usage();
+  }
+  const int64_t event_cap = flags.GetInt("event_cap", 0);
+  if (event_cap < 0) {
+    std::fprintf(stderr, "--event_cap must be >= 0\n");
+    return Usage();
+  }
+  cfg.event_cap = static_cast<uint64_t>(event_cap);
   cfg.bandwidth_bytes_per_us =
       flags.GetDouble("bandwidth_bytes_per_us", cfg.bandwidth_bytes_per_us);
 
@@ -146,7 +163,7 @@ int RunMain(int argc, char** argv) {
   std::printf(
       "RESULT protocol=\"%s\" n=%u batch=%u tput_tps=%.0f lat_avg_ms=%.3f "
       "lat_p50_ms=%.3f lat_p99_ms=%.3f accepted=%llu spec=%llu views=%llu "
-      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d\n",
+      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d cap_hit=%d\n",
       res.protocol.c_str(), cfg.n, cfg.batch_size, res.throughput_tps,
       res.avg_latency_ms, res.p50_latency_ms, res.p99_latency_ms,
       static_cast<unsigned long long>(res.accepted),
@@ -155,7 +172,8 @@ int RunMain(int argc, char** argv) {
       static_cast<unsigned long long>(res.slots),
       static_cast<unsigned long long>(res.timeouts),
       static_cast<unsigned long long>(res.rollback_events),
-      static_cast<unsigned long long>(res.resubmissions), res.safety_ok ? 1 : 0);
+      static_cast<unsigned long long>(res.resubmissions), res.safety_ok ? 1 : 0,
+      res.event_cap_hit ? 1 : 0);
 
   std::printf("\n%s, n=%u (f=%u), batch=%u, %s%s\n", res.protocol.c_str(), cfg.n,
               (cfg.n - 1) / 3, cfg.batch_size, workload.c_str(),
@@ -168,6 +186,10 @@ int RunMain(int argc, char** argv) {
               static_cast<unsigned long long>(res.accepted_speculative),
               static_cast<unsigned long long>(res.accepted));
   std::printf("  safety       %10s\n", res.safety_ok ? "OK" : "VIOLATED");
+  if (res.event_cap_hit) {
+    std::printf("  WARNING: the simulator stopped at its event cap - this run "
+                "was truncated, not drained\n");
+  }
   return res.safety_ok ? 0 : 1;
 }
 

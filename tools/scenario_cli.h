@@ -15,10 +15,50 @@
 
 namespace hotstuff1::tools {
 
+/// One axis rendered as `name{label1,label2,...}` (long axes elided), so
+/// --list shows exactly what a scenario sweeps — including sim_jobs /
+/// lookahead axes — and CI logs record what a gate actually covered.
+inline std::string FormatAxis(const std::string& name, const Axis& axis) {
+  std::string out = name;
+  out += "{";
+  constexpr size_t kMaxLabels = 6;
+  for (size_t i = 0; i < axis.size() && i < kMaxLabels; ++i) {
+    if (i > 0) out += ",";
+    out += axis[i].label.empty() ? "-" : axis[i].label;
+  }
+  if (axis.size() > kMaxLabels) {
+    out += ",...+" + std::to_string(axis.size() - kMaxLabels);
+  }
+  out += "}";
+  return out;
+}
+
+/// `axes: ...` summary line for one spec (sweep shape + seed count).
+inline std::string DescribeAxes(const ScenarioSpec& spec) {
+  if (spec.custom_run) return "custom (not a config sweep)";
+  std::string out;
+  if (!spec.tables.empty()) {
+    out += FormatAxis(spec.table_name.empty() ? "table" : spec.table_name,
+                      spec.tables);
+  }
+  if (!spec.rows.empty()) {
+    if (!out.empty()) out += " x ";
+    out += FormatAxis(spec.row_name, spec.rows);
+  }
+  if (!spec.cols.empty()) {
+    if (!out.empty()) out += " x ";
+    out += FormatAxis("", spec.cols);
+  }
+  if (out.empty()) out = "single point";
+  out += ", seeds=" + std::to_string(spec.seeds.empty() ? 1 : spec.seeds.size());
+  return out;
+}
+
 /// Prints the registered scenario catalog (for --list).
 inline int ListScenarios() {
   for (const ScenarioSpec* spec : ScenarioRegistry::Instance().All()) {
     std::printf("%-18s %s\n", spec->name.c_str(), spec->description.c_str());
+    std::printf("%-18s   axes: %s\n", "", DescribeAxes(*spec).c_str());
   }
   return 0;
 }
@@ -36,6 +76,15 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
   options->sim_jobs = has_sim_jobs ? static_cast<int>(flags.GetInt(
                                          "sim-jobs", flags.GetInt("sim_jobs", 0)))
                                    : 0;
+  if (flags.Has("lookahead")) {
+    if (!ParseLookahead(flags.GetString("lookahead", ""), &options->lookahead)) {
+      std::fprintf(stderr,
+                   "bad --lookahead '%s' (want auto|off|<microseconds>)\n",
+                   flags.GetString("lookahead", "").c_str());
+      return false;
+    }
+    options->has_lookahead = true;
+  }
   options->smoke = flags.GetBool("smoke", false);
   const std::string format = flags.GetString("format", "table");
   if (!ParseReportFormat(format, &options->format)) {
