@@ -1,0 +1,69 @@
+// Cost-model sensitivity: the virtual CPU axes of ConsensusConfig::costs
+// that no other scenario sweeps. Rows vary the crypto costs (sign_us /
+// verify_us together — fast hardware, the paper's calibration, and a 4x
+// slower signer), tables vary per-transaction execution cost (the paper's
+// 0.5us YCSB calibration vs a 10x heavier state machine).
+//
+// Expected shape: crypto cost hits the leader-bound protocols hardest (the
+// leader verifies n-1 shares per certificate), so throughput at the slow
+// crypto point decays with n-f; execution cost shifts every protocol down by
+// about batch x per_txn_exec_us per block but preserves the latency ordering,
+// since speculation saves half-phases, not execution time.
+
+#include <cstdio>
+
+#include "runtime/report.h"
+#include "runtime/scenario.h"
+
+namespace hotstuff1 {
+namespace {
+
+ScenarioSpec CostModel() {
+  ScenarioSpec spec;
+  spec.name = "cost_model";
+  spec.title = "Cost model sensitivity (n=32, LAN, YCSB, batch=100)";
+  spec.description = "throughput and latency vs sign/verify and per-txn exec costs";
+  spec.table_name = "exec_us";
+  spec.row_name = "sign/verify_us";
+
+  spec.base.n = 32;
+  spec.base.batch_size = 100;
+  spec.base.duration = BenchDuration(600);
+  spec.base.warmup = Millis(200);
+  spec.base.seed = 2024;
+
+  for (double exec_us : {0.5, 5.0}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%g", exec_us);
+    spec.tables.push_back({label, [exec_us](ExperimentConfig& c) {
+                             c.costs.per_txn_exec_us = exec_us;
+                           }});
+  }
+  struct Crypto {
+    SimTime sign_us;
+    SimTime verify_us;
+  };
+  for (const Crypto crypto : {Crypto{3, 4}, Crypto{12, 15}, Crypto{48, 60}}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%lld/%lld",
+                  static_cast<long long>(crypto.sign_us),
+                  static_cast<long long>(crypto.verify_us));
+    spec.rows.push_back({label, [crypto](ExperimentConfig& c) {
+      c.costs.sign_us = crypto.sign_us;
+      c.costs.verify_us = crypto.verify_us;
+      // Slow crypto stretches every protocol step (a leader verifies ~n-f
+      // shares per certificate); keep Delta and the view timer above the
+      // slowed round trip so measurements are not dominated by timeouts.
+      c.delta = Millis(1) + Micros(40 * crypto.verify_us);
+      c.view_timer = Millis(10) + 4 * c.delta;
+    }});
+  }
+  spec.cols = PaperProtocolAxis();
+  spec.metrics = {ThroughputMetric(), AvgLatencyMetric()};
+  return spec;
+}
+
+HS1_REGISTER_SCENARIO(CostModel);
+
+}  // namespace
+}  // namespace hotstuff1

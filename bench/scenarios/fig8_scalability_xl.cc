@@ -1,0 +1,54 @@
+// Figure 8 extension: scalability beyond the paper's n = 64 endpoint
+// (n = 64, 96, 128; LAN, YCSB, batch 100), exercising the multi-word
+// ReplicaSet quorum plumbing. n = 96 is the first committee whose n-f
+// quorum (65) no longer fits a single 64-bit vote mask; n = 128 matches the
+// committee sizes reported by the HotStuff and Narwhal/Tusk evaluations.
+//
+// Expected shape: throughput keeps decaying ~O(n) past the paper's range;
+// HotStuff-1 retains its latency lead because speculation still saves the
+// same number of half-phases regardless of committee size.
+
+#include "runtime/report.h"
+#include "runtime/scenario.h"
+
+namespace hotstuff1 {
+namespace {
+
+ScenarioSpec Fig8ScalabilityXl() {
+  ScenarioSpec spec;
+  spec.name = "fig8_scalability_xl";
+  spec.title = "Figure 8 XL: Scalability past one vote word (LAN, YCSB, batch=100)";
+  spec.description = "throughput and client latency at n = 64..128 (multi-word quorums)";
+  spec.row_name = "n";
+
+  spec.base.batch_size = 100;
+  spec.base.duration = BenchDuration(600);
+  spec.base.warmup = Millis(200);
+  spec.base.view_timer = Millis(10);
+  spec.base.delta = Millis(1);
+  spec.base.seed = 2024;
+
+  for (uint32_t n : {64u, 96u, 128u}) {
+    spec.rows.push_back(
+        {std::to_string(n), [n](ExperimentConfig& c) { c.n = n; }});
+  }
+  for (ProtocolKind kind : {ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2,
+                            ProtocolKind::kHotStuff1}) {
+    spec.cols.push_back(
+        {ProtocolName(kind), [kind](ExperimentConfig& c) { c.protocol = kind; }});
+  }
+  spec.metrics = {ThroughputMetric(), AvgLatencyMetric()};
+  // CI pays for the endpoints only (n = 64 and the n = 128 headline point);
+  // a short window is enough to prove >1-word quorums form and commit.
+  spec.smoke = [](ExperimentConfig& c) {
+    c.duration = Millis(100);
+    c.warmup = Millis(40);
+    c.num_clients = 2 * c.batch_size;
+  };
+  return spec;
+}
+
+HS1_REGISTER_SCENARIO(Fig8ScalabilityXl);
+
+}  // namespace
+}  // namespace hotstuff1

@@ -151,7 +151,7 @@ void ChainedReplica::HandleNewView(const NewViewMsg& msg) {
   if (st.proposed) return;
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighCert(msg.high_cert);
-  st.senders.insert(msg.sender);
+  st.senders.Set(msg.sender);
 
   // A tail-forking leader pretends it received no votes for the previous
   // proposal (Example 6.2) and never forms P(v-1).
@@ -177,9 +177,9 @@ void ChainedReplica::MaybePropose(uint64_t v) {
   if (crashed_ || view() != v || v <= exited_view_ || !IsLeaderOf(v)) return;
   LeaderViewState& st = nv_state_[v];
   if (st.proposed || st.waiting_block) return;
-  if (st.senders.size() < config_.quorum()) return;
+  if (st.senders.Count() < config_.quorum()) return;
 
-  bool ready = st.formed || st.senders.size() >= config_.n || st.share_timer_passed;
+  bool ready = st.formed || st.senders.Count() >= config_.n || st.share_timer_passed;
   if (adversary_.fault == Fault::kTailFork) ready = true;
   if (!ready) return;
   Propose(v);

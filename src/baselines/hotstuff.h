@@ -18,9 +18,9 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <unordered_map>
 
+#include "common/replica_set.h"
 #include "consensus/replica.h"
 
 namespace hotstuff1 {
@@ -60,7 +60,7 @@ class ChainedReplica : public ReplicaBase {
 
  private:
   struct LeaderViewState {
-    std::set<ReplicaId> senders;
+    ReplicaSet senders;
     // One accumulator per distinct voted block (normally a single one).
     std::unordered_map<Hash256, VoteAccumulator, Hash256Hasher> accs;
     bool formed = false;       // formed P(v-1) from shares

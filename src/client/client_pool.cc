@@ -1,7 +1,5 @@
 #include "client/client_pool.h"
 
-#include <bit>
-
 #include "common/logging.h"
 
 namespace hotstuff1 {
@@ -13,7 +11,8 @@ ClientPool::ClientPool(sim::Simulator* sim, const Workload* workload,
       config_(config),
       latency_(std::move(latency_to_replica)),
       rng_(config.seed) {
-  HS1_CHECK_LE(latency_.size(), 64u) << "replica masks use 64-bit words";
+  HS1_CHECK_LE(latency_.size(), ReplicaSet::kCapacity)
+      << "committee exceeds ReplicaSet capacity";
 }
 
 void ClientPool::Start() {
@@ -85,7 +84,9 @@ void ClientPool::OnBlockResponse(ReplicaId from, const BlockPtr& block,
 void ClientPool::Process(ReplicaId from, const BlockPtr& block,
                          const std::vector<uint64_t>& results, bool speculative) {
   sim_->SyncShared();  // see SubmitFresh
-  const uint64_t bit = 1ULL << (from % 64);
+  // A response from a replica id outside the committee is a wiring bug; it
+  // must never alias onto another replica's vote bit (the old `% 64` wrap).
+  HS1_CHECK_LT(from, latency_.size()) << "response from unknown replica";
   const auto& txns = block->txns();
   for (size_t i = 0; i < txns.size(); ++i) {
     auto it = outstanding_.find(txns[i].id);
@@ -100,15 +101,14 @@ void ClientPool::Process(ReplicaId from, const BlockPtr& block,
       }
     }
     if (tally == nullptr) {
-      state.tallies.push_back(ResponseTally{block->hash(), results[i], 0, 0});
+      state.tallies.push_back(ResponseTally{block->hash(), results[i], {}, {}});
       tally = &state.tallies.back();
     }
-    tally->spec_mask |= bit;  // every response is at least a commit-vote
-    if (!speculative) tally->commit_mask |= bit;
+    tally->spec_mask.Set(from);  // every response is at least a commit-vote
+    if (!speculative) tally->commit_mask.Set(from);
 
-    const uint32_t votes =
-        static_cast<uint32_t>(std::popcount(tally->spec_mask | tally->commit_mask));
-    const uint32_t commits = static_cast<uint32_t>(std::popcount(tally->commit_mask));
+    const uint32_t votes = (tally->spec_mask | tally->commit_mask).Count();
+    const uint32_t commits = tally->commit_mask.Count();
     if (commits >= config_.quorum_commit) {
       Accept(txns[i].id, state, tally->block_hash, /*speculative=*/false);
     } else if (config_.quorum_speculative > 0 && votes >= config_.quorum_speculative) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/replica_set.h"
 #include "consensus/mempool.h"
 #include "consensus/metrics.h"
 #include "sim/simulator.h"
@@ -107,8 +108,8 @@ class ClientPool : public TransactionSource, public ResponseSink {
   struct ResponseTally {
     Hash256 block_hash;
     uint64_t result = 0;
-    uint64_t spec_mask = 0;    // replicas whose response counts as a commit-vote
-    uint64_t commit_mask = 0;  // replicas reporting a committed execution
+    ReplicaSet spec_mask;    // replicas whose response counts as a commit-vote
+    ReplicaSet commit_mask;  // replicas reporting a committed execution
   };
   struct ClientTxn {
     Transaction txn;

@@ -1,7 +1,5 @@
 #include "consensus/certificate.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace hotstuff1 {
@@ -75,10 +73,8 @@ std::string Certificate::ToString() const {
 }
 
 bool VoteAccumulator::Add(const Signature& sig) {
-  if (std::any_of(sigs_.begin(), sigs_.end(),
-                  [&](const Signature& s) { return s.signer == sig.signer; })) {
-    return false;
-  }
+  if (signers_.Test(sig.signer)) return false;
+  signers_.Set(sig.signer);
   sigs_.push_back(sig);
   return sigs_.size() == quorum_;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/replica_set.h"
 #include "common/status.h"
 #include "crypto/signer.h"
 #include "ledger/block.h"
@@ -126,6 +127,7 @@ class VoteAccumulator {
   BlockId block_id_;
   Hash256 block_hash_;
   uint32_t quorum_;
+  ReplicaSet signers_;  // O(1) duplicate-signer rejection at any committee size
   std::vector<Signature> sigs_;
 };
 

@@ -54,9 +54,10 @@ void Pacemaker::OnWish(const WishMsg& msg) {
   }
   WishState& ws = wishes_[msg.view];
   if (ws.tc_sent) return;
-  if (!ws.signers.insert(msg.share.signer).second) return;
+  if (ws.signers.Test(msg.share.signer)) return;
+  ws.signers.Set(msg.share.signer);
   ws.sigs.push_back(msg.share);
-  if (ws.signers.size() >= n_ - f_) {
+  if (ws.signers.Count() >= n_ - f_) {
     ws.tc_sent = true;
     auto tc = std::make_shared<TimeoutCertMsg>(signer_.id());
     tc->view = msg.view;

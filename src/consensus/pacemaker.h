@@ -18,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "common/replica_set.h"
 #include "consensus/messages.h"
 #include "crypto/signer.h"
 #include "sim/simulator.h"
@@ -83,7 +84,7 @@ class Pacemaker {
 
   // Wish aggregation (this replica acting as a next-epoch leader).
   struct WishState {
-    std::set<ReplicaId> signers;
+    ReplicaSet signers;
     std::vector<Signature> sigs;
     bool tc_sent = false;
   };

@@ -92,7 +92,7 @@ void HotStuff1BasicReplica::HandleNewView(const NewViewMsg& msg) {
   if (st.proposed) return;
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighPrepare(msg.high_cert);
-  st.senders.insert(msg.sender);
+  st.senders.Set(msg.sender);
 
   // Commit shares over P(v-1) aggregate into C(v-1) (Fig. 2 lines 11-12).
   if (msg.has_share && msg.share_kind == CertKind::kCommit &&
@@ -118,10 +118,10 @@ void HotStuff1BasicReplica::MaybePropose(uint64_t v) {
   if (crashed_ || view() != v || !IsLeaderOf(v)) return;
   LeaderViewState& st = state_[v];
   if (st.proposed) return;
-  if (st.senders.size() < config_.quorum()) return;
+  if (st.senders.Count() < config_.quorum()) return;
   // Fig. 2 line 8: wait for P(v-1) or n NewView messages or ShareTimer(v).
   const bool have_prev = high_prepare_.block_id().view + 1 == v;
-  if (!(have_prev || st.senders.size() >= config_.n || st.share_timer_passed)) return;
+  if (!(have_prev || st.senders.Count() >= config_.n || st.share_timer_passed)) return;
   Propose(v);
 }
 

@@ -16,9 +16,9 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 
+#include "common/replica_set.h"
 #include "consensus/replica.h"
 #include "core/speculation.h"
 
@@ -43,7 +43,7 @@ class HotStuff1BasicReplica : public ReplicaBase {
 
  private:
   struct LeaderViewState {
-    std::set<ReplicaId> senders;
+    ReplicaSet senders;
     std::unordered_map<Hash256, VoteAccumulator, Hash256Hasher> commit_accs;
     std::optional<VoteAccumulator> vote_acc;  // ProposeVote shares for B_v
     bool share_timer_passed = false;

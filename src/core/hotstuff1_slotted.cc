@@ -146,7 +146,7 @@ void HotStuff1SlottedReplica::HandleNewView(const NewViewMsg& msg) {
   LeaderState& st = lstate_[tv];
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighCert(msg.high_cert);
-  st.nv_senders.insert(msg.sender);
+  st.nv_senders.Set(msg.sender);
 
   if (msg.has_share && msg.share_kind == CertKind::kNewView) {
     if (CheckVote(CertKind::kNewView, tv, msg.voted_id, msg.voted_hash, msg.share)) {
@@ -196,16 +196,16 @@ void HotStuff1SlottedReplica::MaybeProposeFirst(uint64_t v) {
     if (ProposeFirstSlot(v)) return;
   }
 
-  if (st.nv_senders.size() < config_.quorum()) return;
+  if (st.nv_senders.Count() < config_.quorum()) return;
 
   // Condition (2): heard from everyone. Condition (3): ShareTimer passed.
-  bool ready = st.nv_senders.size() >= config_.n || st.share_timer_passed;
+  bool ready = st.nv_senders.Count() >= config_.n || st.share_timer_passed;
 
   // Condition (4): with k replicas unheard (1 <= k <= f), fewer than f+1-k
   // votes exist for any slot above our highest certificate, so no higher
   // certificate can exist.
   if (!ready) {
-    const uint32_t k = config_.n - static_cast<uint32_t>(st.nv_senders.size());
+    const uint32_t k = config_.n - st.nv_senders.Count();
     if (k >= 1 && k <= config_.f) {
       uint32_t max_higher = 0;
       for (const auto& [hash, vi] : st.nv_votes) {

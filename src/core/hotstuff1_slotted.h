@@ -23,9 +23,10 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/replica_set.h"
 #include "consensus/replica.h"
 #include "core/speculation.h"
 
@@ -56,7 +57,7 @@ class HotStuff1SlottedReplica : public ReplicaBase {
   };
 
   struct LeaderState {
-    std::set<ReplicaId> nv_senders;
+    ReplicaSet nv_senders;
     std::unordered_map<Hash256, VoteAccumulator, Hash256Hasher> nv_accs;
     std::unordered_map<Hash256, VoteInfo, Hash256Hasher> nv_votes;
     std::optional<Certificate> formed_nv;        // way (i) certificate

@@ -41,9 +41,10 @@ void Simulator::SetLookahead(SimTime window) {
 
 void Simulator::SetJobs(int jobs) {
   // Clamp to the widest useful pool: rounds are at most one event per shard
-  // (<= 64 replicas + clients), so more workers can never help, and absurd
-  // values must not reach std::thread's constructor (which throws).
-  constexpr int kMaxJobs = 64;
+  // (<= ReplicaSet::kCapacity replicas + clients — the committee-size ceiling
+  // every quorum structure shares), so more workers can never help, and
+  // absurd values must not reach std::thread's constructor (which throws).
+  constexpr int kMaxJobs = 256;
   if (jobs > kMaxJobs) jobs = kMaxJobs;
   if (jobs <= 1) {
     exec_.reset();

@@ -13,6 +13,7 @@
 #include "runtime/scenario.h"
 #include "runtime/sweep_runner.h"
 #include "sim/simulator.h"
+#include "tests/result_equality.h"
 
 namespace hotstuff1 {
 namespace {
@@ -181,31 +182,6 @@ TEST(ParallelExecutorTest, EventCapTruncatesIdentically) {
   EXPECT_EQ(std::get<0>(serial), 10u);
   EXPECT_TRUE(std::get<2>(serial));
   EXPECT_EQ(run(4), serial);
-}
-
-// Full experiments: every deterministic result field must agree between the
-// serial loop and the parallel executor.
-void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
-  EXPECT_EQ(a.protocol, b.protocol);
-  EXPECT_EQ(a.accepted, b.accepted);
-  EXPECT_EQ(a.accepted_speculative, b.accepted_speculative);
-  EXPECT_EQ(a.resubmissions, b.resubmissions);
-  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
-  EXPECT_DOUBLE_EQ(a.avg_latency_ms, b.avg_latency_ms);
-  EXPECT_DOUBLE_EQ(a.p50_latency_ms, b.p50_latency_ms);
-  EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
-  EXPECT_EQ(a.committed_blocks, b.committed_blocks);
-  EXPECT_EQ(a.committed_txns, b.committed_txns);
-  EXPECT_EQ(a.views, b.views);
-  EXPECT_EQ(a.slots, b.slots);
-  EXPECT_EQ(a.timeouts, b.timeouts);
-  EXPECT_EQ(a.rollback_events, b.rollback_events);
-  EXPECT_EQ(a.blocks_rolled_back, b.blocks_rolled_back);
-  EXPECT_EQ(a.rejects, b.rejects);
-  EXPECT_EQ(a.messages_sent, b.messages_sent);
-  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
-  EXPECT_EQ(a.safety_ok, b.safety_ok);
-  EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
 }
 
 ExperimentConfig SmallConfig(ProtocolKind kind) {

@@ -1,0 +1,41 @@
+// Shared determinism assertion: every deterministic ExperimentResult field
+// must agree between two runs of the same configuration. Lives in one place
+// so that a field added to ExperimentResult is covered by every determinism
+// test (parallel_sim_test, determinism_stress_test) at once. wall_ms is the
+// one sanctioned nondeterministic field and is deliberately not compared.
+
+#ifndef HOTSTUFF1_TESTS_RESULT_EQUALITY_H_
+#define HOTSTUFF1_TESTS_RESULT_EQUALITY_H_
+
+#include <gtest/gtest.h>
+
+#include "runtime/experiment.h"
+
+namespace hotstuff1 {
+
+inline void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.accepted_speculative, b.accepted_speculative);
+  EXPECT_EQ(a.resubmissions, b.resubmissions);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ms, b.avg_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p50_latency_ms, b.p50_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+  EXPECT_EQ(a.committed_blocks, b.committed_blocks);
+  EXPECT_EQ(a.committed_txns, b.committed_txns);
+  EXPECT_EQ(a.views, b.views);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.rollback_events, b.rollback_events);
+  EXPECT_EQ(a.blocks_rolled_back, b.blocks_rolled_back);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.safety_ok, b.safety_ok);
+  EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
+}
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_TESTS_RESULT_EQUALITY_H_

@@ -118,6 +118,82 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1u, 2u, 3u)),
     ParamName);
 
+// Large committees: the same invariants with quorum math above one 64-bit
+// word (n = 96: quorum 65 is the first threshold past a word; n = 128
+// matches the committee sizes of the HotStuff / Narwhal evaluations).
+using LargeParam = std::tuple<uint32_t /*n*/, ProtocolKind, Fault>;
+
+std::string LargeParamName(const ::testing::TestParamInfo<LargeParam>& info) {
+  const auto [n, kind, fault] = info.param;
+  std::string name = "n" + std::to_string(n);
+  name += kind == ProtocolKind::kHotStuff ? "_HotStuff" : "_HS1";
+  name += fault == Fault::kNone ? "_NoFault" : "_Crash";
+  return name;
+}
+
+class LargeCommitteeSweep : public ::testing::TestWithParam<LargeParam> {};
+
+TEST_P(LargeCommitteeSweep, SafetyAndClientSafetyAboveOneWord) {
+  const auto [n, kind, fault] = GetParam();
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.n = n;
+  cfg.batch_size = 20;
+  // With the full f crashed, a third of all views burn their 10ms timer
+  // before an honest leader commits; the window must cover enough honest
+  // stretches to show liveness.
+  cfg.duration = fault == Fault::kNone ? Millis(300) : Millis(600);
+  cfg.warmup = fault == Fault::kNone ? Millis(100) : Millis(200);
+  cfg.num_clients = 200;
+  cfg.view_timer = Millis(10);
+  cfg.fault = fault;
+  cfg.num_faulty = fault == Fault::kNone ? 0 : (n - 1) / 3;  // full f crashes
+  cfg.seed = 5;
+  cfg.track_accepted = true;
+
+  Experiment exp(cfg);
+  const ExperimentResult res = exp.Run();
+
+  // Theorem B.5 (safety) and Theorem B.8 (liveness) at >1-word quorums.
+  EXPECT_TRUE(res.safety_ok);
+  EXPECT_GT(res.accepted, 20u);
+  // The speculative path really exercises the n-f client quorum (> 64
+  // matching responses per acceptance for these committees).
+  if (IsSpeculative(kind) && fault == Fault::kNone) {
+    EXPECT_GT(res.accepted_speculative, 0u);
+  }
+
+  // Corollary B.10 (client safety): accepted blocks are committed somewhere.
+  // The in-flight tail must cover the worst honest-leader drought: up to f
+  // consecutive crashed leaders burn ~f view timers before the commit that
+  // confirms a late speculative acceptance.
+  const SimTime tail =
+      fault == Fault::kNone ? Millis(150)
+                            : Millis(100) + cfg.num_faulty * cfg.view_timer;
+  const SimTime cutoff = cfg.warmup + cfg.duration - tail;
+  for (const auto& rec : exp.clients().accepted_records()) {
+    if (rec.time > cutoff) continue;
+    bool committed = false;
+    for (const auto& r : exp.replicas()) {
+      if (r->ledger().IsCommitted(rec.block_hash)) {
+        committed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(committed) << "block " << rec.block_hash.Short()
+                           << " accepted but never committed";
+    if (!committed) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Wide, LargeCommitteeSweep,
+    ::testing::Combine(::testing::Values(96u, 128u),
+                       ::testing::Values(ProtocolKind::kHotStuff,
+                                         ProtocolKind::kHotStuff1),
+                       ::testing::Values(Fault::kNone, Fault::kCrash)),
+    LargeParamName);
+
 // Randomized delay jitter: message timing noise must never affect safety.
 class JitterSweep : public ::testing::TestWithParam<uint64_t> {};
 
