@@ -34,6 +34,9 @@ void PrintUsage(std::FILE* out) {
                              event loop (default: per-scenario config;
                              byte-identical at any value)
   --format=table|csv|json    output format (default table)
+  --oracle                   arm the online invariant oracle on every point
+                             (pure observer; violations fail the run with a
+                             config+seed diagnostic)
   --smoke                    CI-sized points (short windows, axis endpoints)
   --help                     this text
 

@@ -1,14 +1,20 @@
 // Cost-model sensitivity: the virtual CPU axes of ConsensusConfig::costs
-// that no other scenario sweeps. Rows vary the crypto costs (sign_us /
-// verify_us together — fast hardware, the paper's calibration, and a 4x
-// slower signer), tables vary per-transaction execution cost (the paper's
-// 0.5us YCSB calibration vs a 10x heavier state machine).
+// that no other scenario sweeps. The table axis is two-dimensional —
+// per-transaction execution cost (the paper's 0.5us YCSB calibration vs a
+// 10x heavier state machine) x crypto shape ("sym" sweeps sign and verify
+// together, ECDSA-style; "bls" is the asymmetric regime of aggregate
+// schemes: expensive signing, cheap verification). Rows scale the crypto
+// base costs by 1x/4x/16x, so each table shows how throughput decays as its
+// crypto regime slows down.
 //
 // Expected shape: crypto cost hits the leader-bound protocols hardest (the
-// leader verifies n-1 shares per certificate), so throughput at the slow
-// crypto point decays with n-f; execution cost shifts every protocol down by
-// about batch x per_txn_exec_us per block but preserves the latency ordering,
-// since speculation saves half-phases, not execution time.
+// leader verifies n-1 shares per certificate), so under "sym" throughput at
+// the slow point decays with n-f; under "bls" the verify side stays cheap
+// and the decay flattens — the certificate-verification bottleneck, not raw
+// signing, is what separates the protocols. Execution cost shifts every
+// protocol down by about batch x per_txn_exec_us per block but preserves
+// the latency ordering, since speculation saves half-phases, not execution
+// time.
 
 #include <cstdio>
 
@@ -22,9 +28,10 @@ ScenarioSpec CostModel() {
   ScenarioSpec spec;
   spec.name = "cost_model";
   spec.title = "Cost model sensitivity (n=32, LAN, YCSB, batch=100)";
-  spec.description = "throughput and latency vs sign/verify and per-txn exec costs";
-  spec.table_name = "exec_us";
-  spec.row_name = "sign/verify_us";
+  spec.description =
+      "throughput and latency vs exec cost x crypto shape (sym / BLS-asymmetric)";
+  spec.table_name = "exec_us/crypto";
+  spec.row_name = "crypto_scale";
 
   spec.base.n = 32;
   spec.base.batch_size = 100;
@@ -32,29 +39,36 @@ ScenarioSpec CostModel() {
   spec.base.warmup = Millis(200);
   spec.base.seed = 2024;
 
-  for (double exec_us : {0.5, 5.0}) {
-    char label[16];
-    std::snprintf(label, sizeof(label), "%g", exec_us);
-    spec.tables.push_back({label, [exec_us](ExperimentConfig& c) {
-                             c.costs.per_txn_exec_us = exec_us;
-                           }});
-  }
-  struct Crypto {
+  struct Shape {
+    const char* label;
     SimTime sign_us;
     SimTime verify_us;
   };
-  for (const Crypto crypto : {Crypto{3, 4}, Crypto{12, 15}, Crypto{48, 60}}) {
+  // Base (1x) costs per crypto regime; rows multiply both.
+  constexpr Shape kShapes[] = {{"sym", 3, 4}, {"bls", 12, 1}};
+  for (double exec_us : {0.5, 5.0}) {
+    for (const Shape shape : kShapes) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "%g/%s", exec_us, shape.label);
+      spec.tables.push_back({label, [exec_us, shape](ExperimentConfig& c) {
+                               c.costs.per_txn_exec_us = exec_us;
+                               c.costs.sign_us = shape.sign_us;
+                               c.costs.verify_us = shape.verify_us;
+                             }});
+    }
+  }
+  for (const SimTime scale : {SimTime{1}, SimTime{4}, SimTime{16}}) {
     char label[16];
-    std::snprintf(label, sizeof(label), "%lld/%lld",
-                  static_cast<long long>(crypto.sign_us),
-                  static_cast<long long>(crypto.verify_us));
-    spec.rows.push_back({label, [crypto](ExperimentConfig& c) {
-      c.costs.sign_us = crypto.sign_us;
-      c.costs.verify_us = crypto.verify_us;
+    std::snprintf(label, sizeof(label), "%lldx", static_cast<long long>(scale));
+    spec.rows.push_back({label, [scale](ExperimentConfig& c) {
+      c.costs.sign_us *= scale;
+      c.costs.verify_us *= scale;
       // Slow crypto stretches every protocol step (a leader verifies ~n-f
-      // shares per certificate); keep Delta and the view timer above the
-      // slowed round trip so measurements are not dominated by timeouts.
-      c.delta = Millis(1) + Micros(40 * crypto.verify_us);
+      // shares per certificate and every replica signs once); keep Delta and
+      // the view timer above the slowed round trip so measurements are not
+      // dominated by timeouts.
+      c.delta = Millis(1) +
+                Micros(40 * c.costs.verify_us + 2 * c.costs.sign_us);
       c.view_timer = Millis(10) + 4 * c.delta;
     }});
   }

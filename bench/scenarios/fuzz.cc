@@ -1,0 +1,43 @@
+// Randomized adversary fuzz: every row derives a whole experiment
+// configuration from its seed (protocol x committee size x fault x coalition
+// size x batch x bandwidth x lookahead x sim_jobs, see runtime/fuzz.h) and
+// runs it with the invariant oracle armed. A clean sweep exits 0; any oracle
+// violation fails the scenario with a (config, seed, event) diagnostic, so
+// `hs1bench --scenario=fuzz` is a one-command randomized safety audit.
+//
+// Determinism: each point is a pure function of its seed, the oracle is a
+// pure observer, and the scenario randomizes the executor axes itself — the
+// CSV is byte-identical across runs and across --jobs / --sim-jobs /
+// --lookahead overrides (the respect-the-axis rule ignores the latter two).
+
+#include "runtime/fuzz.h"
+#include "runtime/scenario.h"
+
+namespace hotstuff1 {
+namespace {
+
+ScenarioSpec Fuzz() {
+  ScenarioSpec spec;
+  spec.name = "fuzz";
+  spec.title = "Randomized adversary fuzz (invariant oracle armed)";
+  spec.description =
+      "seed-randomized protocol/n/fault/batch tuples checked by the online oracle";
+  spec.row_name = "seed";
+
+  spec.base.oracle_enabled = true;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    spec.rows.push_back({std::to_string(seed), [seed](ExperimentConfig& c) {
+                           c = FuzzConfigFromSeed(seed);
+                         }});
+  }
+  spec.mode = RunMode::kSingle;
+  spec.metrics = {ThroughputMetric()};
+  // Smoke keeps the row endpoints and shrinks windows (DefaultSmoke); the
+  // full sweep already uses fuzz-sized durations.
+  return spec;
+}
+
+HS1_REGISTER_SCENARIO(Fuzz);
+
+}  // namespace
+}  // namespace hotstuff1

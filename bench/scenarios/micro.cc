@@ -3,6 +3,13 @@
 // the event queue, and workload generation. A custom (non-sweep) scenario:
 // each op is timed wall-clock with a self-calibrating iteration loop, so the
 // harness needs no external benchmark dependency.
+//
+// Results flow through the standard sweep emitters (one synthetic point per
+// operation) so micro shares the flat CSV/JSON point schema with every other
+// scenario. The measured time rides in the wall_ms field behind a
+// deterministic=false metric — exactly the wall-clock contract par_speedup
+// uses — so tables show ns/op while the machine-readable bytes stay
+// identical across runs and the CI CSV-diff gates can cover the scenario.
 
 #include <chrono>
 #include <cstdio>
@@ -77,12 +84,33 @@ void Sink(const T& v) {
   g_sink += *reinterpret_cast<const unsigned char*>(&v);
 }
 
+// Spec used purely for emission: one synthetic sweep point per operation,
+// with the measured ns/op carried in ExperimentResult::wall_ms under a
+// nondeterministic metric (excluded from CSV/JSON by contract).
+ScenarioSpec MicroEmitSpec() {
+  ScenarioSpec spec;
+  spec.name = "micro";
+  spec.title = "Micro-benchmarks: substrate operation costs";
+  spec.row_name = "operation";
+  spec.metrics = {{"ns_per_op", [](const ExperimentResult& r) { return r.wall_ms; },
+                   FormatNs, /*deterministic=*/false}};
+  return spec;
+}
+
 int RunMicro(const ScenarioRunOptions& options) {
   const double budget_ms = options.smoke ? 5.0 : 100.0;
-  ReportTable table("Micro-benchmarks: substrate operation costs",
-                    {"operation", "time/op"});
+  SweepOutcome outcome;
+  static const ScenarioSpec emit_spec = MicroEmitSpec();
+  outcome.spec = &emit_spec;
+  outcome.synthetic = true;  // no experiments ran: no fabricated diagnostics
   auto add = [&](const std::string& name, double ns) {
-    table.AddRow({name, FormatNs(ns)});
+    SweepPoint p;
+    p.index = outcome.points.size();
+    p.row_label = name;
+    outcome.points.push_back(std::move(p));
+    ExperimentResult r;
+    r.wall_ms = ns;
+    outcome.results.push_back(std::move(r));
   };
 
   for (size_t size : {size_t{64}, size_t{1024}, size_t{65536}}) {
@@ -200,9 +228,9 @@ int RunMicro(const ScenarioRunOptions& options) {
 
   std::ostream& os = options.out ? *options.out : std::cout;
   switch (options.format) {
-    case ReportFormat::kTable: table.Print(os); break;
-    case ReportFormat::kCsv: table.PrintCsv(os); break;
-    case ReportFormat::kJson: table.PrintJson(os); break;
+    case ReportFormat::kTable: EmitTables(outcome, os); break;
+    case ReportFormat::kCsv: EmitCsv(outcome, os); break;
+    case ReportFormat::kJson: EmitJson(outcome, os); break;
   }
   return 0;
 }
@@ -211,7 +239,8 @@ ScenarioSpec Micro() {
   ScenarioSpec spec;
   spec.name = "micro";
   spec.title = "Micro-benchmarks";
-  spec.description = "wall-clock cost of the substrate operations (custom, not a sweep)";
+  spec.description =
+      "wall-clock cost of the substrate operations (custom run, flat point schema)";
   spec.custom_run = RunMicro;
   return spec;
 }

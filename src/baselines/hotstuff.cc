@@ -1,6 +1,8 @@
 #include "baselines/hotstuff.h"
 
 #include "common/logging.h"
+#include "runtime/adversary.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -166,7 +168,9 @@ void ChainedReplica::HandleNewView(const NewViewMsg& msg) {
       (void)inserted;
       if (it->second.Add(msg.share)) {
         st.formed = true;
-        UpdateHighCert(it->second.Build());
+        const Certificate formed = it->second.Build();
+        if (oracle_) oracle_->OnCertificateFormed(id_, formed);
+        UpdateHighCert(formed);
       }
     }
   }
@@ -221,15 +225,10 @@ void ChainedReplica::Propose(uint64_t v) {
       RecordJustify(block_a->hash(), honest);
       RecordJustify(block_b->hash(), *prev);
 
-      std::vector<bool> mask_a(config_.n, false);
-      uint32_t victims = 0;
-      for (ReplicaId r = 0; r < config_.n && victims < adversary_.rollback_victims;
-           ++r) {
-        if (!(*adversary_.faulty)[r]) {
-          mask_a[r] = true;
-          ++victims;
-        }
-      }
+      // Victim designation shared with the invariant oracle's exemption
+      // list — see RollbackVictimMask.
+      const std::vector<bool> mask_a = RollbackVictimMask(
+          config_.n, adversary_.faulty.get(), adversary_.rollback_victims);
       std::vector<bool> mask_b(config_.n);
       for (ReplicaId r = 0; r < config_.n; ++r) mask_b[r] = !mask_a[r];
 

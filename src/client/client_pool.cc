@@ -1,6 +1,7 @@
 #include "client/client_pool.h"
 
 #include "common/logging.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -119,6 +120,7 @@ void ClientPool::Process(ReplicaId from, const BlockPtr& block,
 
 void ClientPool::Accept(uint64_t id, ClientTxn& state, const Hash256& block_hash,
                         bool speculative) {
+  if (oracle_) oracle_->OnClientAccept(id, block_hash, speculative);
   latencies_.Add(sim_->Now() - state.first_submit);
   ++accepted_;
   if (speculative) ++accepted_speculative_;

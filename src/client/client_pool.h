@@ -29,6 +29,8 @@
 
 namespace hotstuff1 {
 
+class InvariantOracle;  // runtime/oracle.h
+
 /// Shard for the client pool's own events (submission stagger, response
 /// processing, the retry sweeper). Distinct from every replica shard, so
 /// client work overlaps replica work under a parallel executor; mutual
@@ -63,6 +65,15 @@ class ClientPool : public TransactionSource, public ResponseSink {
 
   /// Submits every client's first transaction and starts the retry sweeper.
   void Start();
+
+  /// Attaches the online invariant oracle (null = disabled): every client
+  /// acceptance is reported and checked against the global commit lattice —
+  /// an accepted block that conflicts with what any correct replica commits
+  /// at its height is a Cor. B.10 violation, flagged the moment either side
+  /// lands. (The bounded in-flight tail — accepted, not yet committed, not
+  /// contradicted — is inherently unjudgeable online; the end-of-run
+  /// property tests cover it with time cutoffs.)
+  void SetOracle(InvariantOracle* oracle) { oracle_ = oracle; }
 
   // --- TransactionSource ------------------------------------------------------
   std::vector<Transaction> DrawBatch(ReplicaId leader, size_t max,
@@ -131,6 +142,7 @@ class ClientPool : public TransactionSource, public ResponseSink {
   const Workload* workload_;
   ClientPoolConfig config_;
   std::vector<SimTime> latency_;
+  InvariantOracle* oracle_ = nullptr;
   Rng rng_;
 
   std::deque<uint64_t> queue_;  // FIFO of waiting transaction ids

@@ -87,6 +87,12 @@ struct ConsensusConfig {
   bool enforce_no_gap_rule = true;
   /// Disable the trusted-previous-leader fast path (§6.3; ablation 3).
   bool trusted_leader_enabled = true;
+  /// Test-only mutation hook for the invariant oracle's self-test: the
+  /// streamlined HotStuff-1 core injects an equivocation-commit bug (a
+  /// replica whose speculation conflicts with the certified chain commits
+  /// the speculated branch instead of rolling it back). Proves the oracle
+  /// fires; never enable outside tests.
+  bool test_break_safety = false;
 
   uint32_t quorum() const { return n - f; }
 

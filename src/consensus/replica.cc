@@ -1,6 +1,7 @@
 #include "consensus/replica.h"
 
 #include "common/logging.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -23,6 +24,7 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
               [this](uint64_t v) {
                 if (!crashed_) {
                   ++metrics_.views_entered;
+                  if (oracle_) oracle_->OnViewEntered(id_, v);
                   OnEnterView(v);
                 }
               },
@@ -148,6 +150,7 @@ void ReplicaBase::RespondToClients(const BlockPtr& block,
                                    const std::vector<uint64_t>& results,
                                    bool speculative) {
   if (crashed_ || block->txns().empty()) return;
+  if (oracle_ && speculative) oracle_->OnSpeculativeResponse(id_, block);
   sink_->OnBlockResponse(id_, block, results, speculative, Now());
 }
 
@@ -155,6 +158,7 @@ void ReplicaBase::DeliverCommits(const std::vector<ExecResult>& committed) {
   for (const ExecResult& res : committed) {
     ++metrics_.blocks_committed;
     metrics_.txns_committed += res.block->txns().size();
+    if (oracle_) oracle_->OnBlockCommitted(id_, res.block);
     if (!res.was_speculated) {
       // Execution happened just now, at commit time; charge it.
       ChargeCpu(config_.costs.ExecCost(res.block->txns().size()));
@@ -176,7 +180,15 @@ void ReplicaBase::TryCommit(const BlockPtr& target) {
     }
     cur = parent;
   }
+  // CommitChain may first roll back speculation that diverges from the
+  // commit path (Def. 4.7); the oracle distinguishes expected victim
+  // rollbacks from protocol bugs.
+  const uint64_t rollbacks_before = ledger_.rollback_events();
+  const uint64_t rolled_before = ledger_.blocks_rolled_back();
   DeliverCommits(ledger_.CommitChain(target));
+  if (oracle_ && ledger_.rollback_events() != rollbacks_before) {
+    oracle_->OnRollback(id_, ledger_.blocks_rolled_back() - rolled_before);
+  }
 }
 
 bool ReplicaBase::EnsureBlock(const Hash256& hash, ReplicaId hint) {

@@ -21,6 +21,8 @@
 
 namespace hotstuff1 {
 
+class InvariantOracle;  // runtime/oracle.h
+
 class ReplicaBase {
  public:
   ReplicaBase(ReplicaId id, const ConsensusConfig& config, sim::Network* net,
@@ -44,6 +46,11 @@ class ReplicaBase {
 
   void SetAdversary(const AdversarySpec& spec) { adversary_ = spec; }
   const AdversarySpec& adversary() const { return adversary_; }
+  /// Attaches the online invariant oracle (null = disabled). The base class
+  /// reports views entered, commits, speculative responses and rollbacks;
+  /// the protocol cores add certificate formations at their aggregation
+  /// sites. Reporting is a pure observation and never alters behaviour.
+  void SetOracle(InvariantOracle* oracle) { oracle_ = oracle; }
   /// Marks the replica crashed: it stops processing and sending. (The
   /// network additionally drops its traffic when Network::Crash is used.)
   void SetCrashed() { crashed_ = true; }
@@ -119,6 +126,7 @@ class ReplicaBase {
   Pacemaker pacemaker_;
   ReplicaMetrics metrics_;
   AdversarySpec adversary_;
+  InvariantOracle* oracle_ = nullptr;
   bool crashed_ = false;
   /// Highest view this replica has timed out of (exitView() semantics:
   /// "disable voting for view v"). During epoch synchronization the

@@ -1,6 +1,7 @@
 #include "core/hotstuff1_basic.h"
 
 #include "common/logging.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -105,6 +106,7 @@ void HotStuff1BasicReplica::HandleNewView(const NewViewMsg& msg) {
       (void)inserted;
       if (it->second.Add(msg.share)) {
         Certificate commit_cert = it->second.Build();
+        if (oracle_) oracle_->OnCertificateFormed(id_, commit_cert);
         if (!high_commit_ || high_commit_->block_id() < commit_cert.block_id()) {
           high_commit_ = std::move(commit_cert);
         }
@@ -249,6 +251,7 @@ void HotStuff1BasicReplica::HandleVote(const VoteMsg& msg) {
   if (st.vote_acc->Add(msg.share)) {
     st.prepared = true;
     Certificate prepare = st.vote_acc->Build();
+    if (oracle_) oracle_->OnCertificateFormed(id_, prepare);
     UpdateHighPrepare(prepare);
     auto prep = std::make_shared<PrepareMsg>(id_);
     prep->cert = std::move(prepare);
@@ -291,6 +294,7 @@ void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
   if (ledger_.rollback_events() != rollbacks_before) {
     ++metrics_.rollback_events;
     metrics_.blocks_rolled_back += out.blocks_rolled_back;
+    if (oracle_) oracle_->OnRollback(id_, out.blocks_rolled_back);
   }
   for (const SpeculatedBlock& sb : out.executed) {
     ++metrics_.blocks_speculated;

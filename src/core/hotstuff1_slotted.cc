@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -160,6 +161,7 @@ void HotStuff1SlottedReplica::HandleNewView(const NewViewMsg& msg) {
         ++vi.count;
         if (!st.first_proposed && !msg.voted_hash.IsZero()) {
           st.formed_nv = it->second.Build(/*formed_view=*/tv);
+          if (oracle_) oracle_->OnCertificateFormed(id_, *st.formed_nv);
           UpdateHighCert(*st.formed_nv);
         }
       } else {
@@ -303,6 +305,7 @@ void HotStuff1SlottedReplica::HandleNewSlotVote(const VoteMsg& msg) {
   }
   if (st.slot_acc->Add(msg.share)) {
     Certificate formed = st.slot_acc->Build();
+    if (oracle_) oracle_->OnCertificateFormed(id_, formed);
     UpdateHighCert(formed);
     ProposeNextSlot(v, formed);
   }
@@ -403,6 +406,7 @@ void HotStuff1SlottedReplica::ApplySpeculation(const Certificate& justify,
   if (ledger_.rollback_events() != rollbacks_before) {
     ++metrics_.rollback_events;
     metrics_.blocks_rolled_back += out.blocks_rolled_back;
+    if (oracle_) oracle_->OnRollback(id_, out.blocks_rolled_back);
   }
   for (const SpeculatedBlock& sb : out.executed) {
     ++metrics_.blocks_speculated;

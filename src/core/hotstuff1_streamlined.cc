@@ -1,10 +1,37 @@
 #include "core/hotstuff1_streamlined.h"
 
+#include "runtime/oracle.h"
+
 namespace hotstuff1 {
+
+bool HotStuff1StreamlinedReplica::TestBreakSafetyCommit(const BlockPtr& certified) {
+  // The injected bug: a replica whose speculation conflicts with the
+  // incoming certified chain "trusts" its own speculative execution and
+  // promotes it to the committed ledger instead of rolling it back
+  // (Def. 4.7 inverted). Under the rollback attack this makes a designated
+  // victim commit the abandoned branch — a genuine equivocation commit that
+  // the oracle's commit-conflict lattice must report.
+  if (ledger_.spec_depth() == 0) return false;
+  if (ledger_.IsCommitted(certified->hash()) ||
+      ledger_.IsSpeculated(certified->hash()) ||
+      certified->height() > ledger_.spec_tip()->height()) {
+    return false;  // certified chain agrees with (or extends) our speculation
+  }
+  DeliverCommits(ledger_.CommitChain(ledger_.spec_tip()));
+  // Halt after the equivocation commit: continuing to process the winning
+  // chain would trip the Ledger's own fork HS1_CHECK and abort the whole
+  // process before the oracle's verdict can be observed by a test. A replica
+  // that equivocated and went silent is exactly the failure shape the oracle
+  // exists to catch from the outside.
+  SetCrashed();
+  return true;
+}
 
 void HotStuff1StreamlinedReplica::ProcessCertificate(const Certificate& justify,
                                                      const BlockPtr& certified,
                                                      uint64_t proposal_view) {
+  if (config_.test_break_safety && TestBreakSafetyCommit(certified)) return;
+
   // Commit rule first (Fig. 4 lines 9-10), so the Prefix Speculation rule
   // sees the freshest global-ledger state.
   CommitTwoChain(certified);
@@ -19,6 +46,7 @@ void HotStuff1StreamlinedReplica::ProcessCertificate(const Certificate& justify,
       ledger_.rollback_events() != rollbacks_before) {
     ++metrics_.rollback_events;
     metrics_.blocks_rolled_back += out.blocks_rolled_back;
+    if (oracle_) oracle_->OnRollback(id_, out.blocks_rolled_back);
   }
   for (const SpeculatedBlock& sb : out.executed) {
     ++metrics_.blocks_speculated;

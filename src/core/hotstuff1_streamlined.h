@@ -33,6 +33,13 @@ class HotStuff1StreamlinedReplica : public ChainedReplica {
                           uint64_t proposal_view) override;
 
  private:
+  /// Test-only mutation (ConsensusConfig::test_break_safety): when the newly
+  /// certified chain conflicts with local speculation, commit the speculated
+  /// branch instead of rolling it back — an equivocation-commit bug the
+  /// invariant oracle must detect. Returns true when the bug fired (the
+  /// replica then halts, see the .cc for why).
+  bool TestBreakSafetyCommit(const BlockPtr& certified);
+
   SpeculationPolicy policy_;
 };
 

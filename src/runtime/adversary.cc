@@ -1,5 +1,7 @@
 #include "runtime/adversary.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace hotstuff1 {
@@ -19,7 +21,9 @@ AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
   HS1_CHECK_LT(count, n);
   AdversaryPlan plan;
   plan.fault = fault;
-  plan.rollback_victims = rollback_victims;
+  // |S| <= f (see header): over-asking for victims silently models a
+  // different, client-safety-breaking adversary, so clamp instead.
+  plan.rollback_victims = std::min(rollback_victims, (n - 1) / 3);
   auto mask = std::make_shared<std::vector<bool>>(n, false);
   for (uint32_t i = 1; i <= count && i < n; ++i) {
     plan.members.push_back(i);
@@ -27,6 +31,18 @@ AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
   }
   plan.faulty_mask = std::move(mask);
   return plan;
+}
+
+std::vector<bool> RollbackVictimMask(uint32_t n, const std::vector<bool>* faulty,
+                                     uint32_t victims) {
+  std::vector<bool> mask(n, false);
+  uint32_t chosen = 0;
+  for (ReplicaId r = 0; r < n && chosen < victims; ++r) {
+    if (faulty != nullptr && (*faulty)[r]) continue;
+    mask[r] = true;
+    ++chosen;
+  }
+  return mask;
 }
 
 }  // namespace hotstuff1

@@ -27,8 +27,22 @@ struct AdversaryPlan {
 
 /// Builds a plan with `count` faulty replicas of behaviour `fault`, placed
 /// at ids 1..count (id 0 stays honest as the measurement observer).
+/// `rollback_victims` is clamped to f = (n-1)/3: the §7.3 attack misleads a
+/// subset S of correct replicas with |S| <= f — any more and the doomed
+/// branch could gather an n-f speculative client quorum, which would break
+/// client safety (Cor. B.10) rather than model the paper's adversary.
 AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
                                 uint32_t rollback_victims = 0);
+
+/// The designated victim set of the §7.3 rollback attack: the first
+/// `victims` correct replicas in id order. mask[r] is true iff r is a
+/// victim. Single source of truth consumed by BOTH sides — the attacking
+/// leader (which sends the honest branch exactly to this set) and the
+/// invariant oracle (which exempts exactly this set from rollback checks);
+/// any drift between the two would mis-attribute rollbacks.
+/// `faulty` may be null (no replica is faulty).
+std::vector<bool> RollbackVictimMask(uint32_t n, const std::vector<bool>* faulty,
+                                     uint32_t victims);
 
 }  // namespace hotstuff1
 

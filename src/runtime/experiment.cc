@@ -9,6 +9,7 @@
 #include "core/hotstuff1_basic.h"
 #include "core/hotstuff1_slotted.h"
 #include "core/hotstuff1_streamlined.h"
+#include "runtime/oracle.h"
 
 namespace hotstuff1 {
 
@@ -53,6 +54,23 @@ std::string FormatLookahead(const LookaheadSpec& spec) {
     case LookaheadMode::kWindow: return std::to_string(spec.window);
   }
   return "?";
+}
+
+std::string DescribeConfig(const ExperimentConfig& config) {
+  // Deliberately omits the executor shape (sim_jobs / lookahead): results
+  // are byte-identical across it by contract, so it is not part of a repro —
+  // and including it would make otherwise-identical oracle diagnostics
+  // differ across executor configurations.
+  std::string out = "protocol=";
+  out += ProtocolName(config.protocol);
+  out += " n=" + std::to_string(config.n);
+  out += " batch=" + std::to_string(config.batch_size);
+  out += " fault=" + std::to_string(static_cast<int>(config.fault));
+  out += " faulty=" + std::to_string(config.num_faulty);
+  out += " victims=" + std::to_string(config.rollback_victims);
+  out += " bw=" +
+         std::to_string(static_cast<long long>(config.bandwidth_bytes_per_us));
+  return out;
 }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
@@ -167,15 +185,29 @@ void Experiment::Setup() {
   cc.max_slots_per_view = config_.max_slots;
   cc.speculation_enabled = config_.speculation_enabled;
   cc.trusted_leader_enabled = config_.trusted_leader_enabled;
+  cc.test_break_safety = config_.test_break_safety;
 
   plan_ = MakeAdversaryPlan(n, config_.fault, config_.num_faulty,
                             config_.rollback_victims);
+
+  if (config_.oracle_enabled) {
+    InvariantOracle::Setup os;
+    os.n = n;
+    os.fault = config_.fault;
+    os.rollback_victims = plan_.rollback_victims;  // post-clamp
+    os.faulty_mask = plan_.faulty_mask;
+    os.seed = config_.seed;
+    os.config_summary = DescribeConfig(config_);
+    oracle_ = std::make_unique<InvariantOracle>(sim_.get(), std::move(os));
+    clients_->SetOracle(oracle_.get());
+  }
 
   replicas_.reserve(n);
   for (ReplicaId id = 0; id < n; ++id) {
     KvState state;  // lazy materialization: absent keys read as zero
     state.Reserve(1 << 16);
     replicas_.push_back(MakeReplica(id, cc, std::move(state)));
+    replicas_.back()->SetOracle(oracle_.get());
     const AdversarySpec spec = plan_.SpecFor(id);
     if (spec.fault == Fault::kCrash) {
       net_->Crash(id);
@@ -228,6 +260,10 @@ ExperimentResult Experiment::Run() {
   }
   res.safety_ok = CheckSafety();
   res.event_cap_hit = sim_->cap_hit();
+  if (oracle_) {
+    res.oracle_violations = oracle_->violations();
+    res.oracle_first_violation = oracle_->FirstDiagnostic();
+  }
   res.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall_start)
                     .count();
@@ -272,6 +308,10 @@ ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
   result.p99_latency_ms = lat.p99_latency_ms;
   result.safety_ok = result.safety_ok && lat.safety_ok;
   result.event_cap_hit = result.event_cap_hit || lat.event_cap_hit;
+  result.oracle_violations += lat.oracle_violations;
+  if (result.oracle_first_violation.empty()) {
+    result.oracle_first_violation = lat.oracle_first_violation;
+  }
   result.wall_ms += lat.wall_ms;
   return result;
 }

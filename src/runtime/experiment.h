@@ -19,6 +19,8 @@
 
 namespace hotstuff1 {
 
+class InvariantOracle;  // runtime/oracle.h
+
 enum class ProtocolKind {
   kHotStuff = 0,
   kHotStuff2 = 1,
@@ -113,6 +115,17 @@ struct ExperimentConfig {
   // Safety valve against runaway event storms: 0 = unlimited. A truncated
   // run is reported via ExperimentResult::event_cap_hit, never silently.
   uint64_t event_cap = 0;
+
+  // Arms the online invariant oracle (runtime/oracle.h): every protocol core
+  // and the client pool report state transitions into it, and violations of
+  // the paper's safety claims fail the run with a (config, seed, event)
+  // diagnostic. Pure observer: enabling it never changes simulation results.
+  bool oracle_enabled = false;
+
+  // Test-only mutation hook (see docs/ARCHITECTURE.md, "Mutation self-test"):
+  // injects an equivocation-commit bug into the streamlined HotStuff-1 core
+  // so tests can prove the oracle actually fires. Never enable outside tests.
+  bool test_break_safety = false;
 };
 
 struct ExperimentResult {
@@ -136,6 +149,10 @@ struct ExperimentResult {
   uint64_t bytes_sent = 0;
   bool safety_ok = true;  // committed prefixes agree across correct replicas
   bool event_cap_hit = false;  // simulator stopped at its event cap: truncated run
+  // Online invariant-oracle verdict (0 and empty when the oracle is off or
+  // the run is clean). Deterministic: identical at any jobs/sim-jobs/lookahead.
+  uint64_t oracle_violations = 0;
+  std::string oracle_first_violation;
   // Real (wall-clock) milliseconds spent executing the run. The only
   // nondeterministic field; excluded from every deterministic emitter, used
   // by the par_speedup scenario.
@@ -160,6 +177,8 @@ class Experiment {
   const KeyRegistry& registry() const { return *registry_; }
   std::vector<std::unique_ptr<ReplicaBase>>& replicas() { return replicas_; }
   const ExperimentConfig& config() const { return config_; }
+  /// Null unless config().oracle_enabled.
+  InvariantOracle* oracle() { return oracle_.get(); }
 
   /// Committed-prefix agreement across correct replicas (Theorem B.5 check).
   bool CheckSafety() const;
@@ -175,9 +194,14 @@ class Experiment {
   std::unique_ptr<KeyRegistry> registry_;
   std::unique_ptr<Workload> workload_;
   std::unique_ptr<ClientPool> clients_;
+  std::unique_ptr<InvariantOracle> oracle_;
   AdversaryPlan plan_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
 };
+
+/// One-line human summary of a configuration ("protocol=... n=... fault=...").
+/// Embedded in invariant-oracle diagnostics so a violation names its repro.
+std::string DescribeConfig(const ExperimentConfig& config);
 
 /// Convenience: run one configuration and return the result.
 ExperimentResult RunExperiment(const ExperimentConfig& config);

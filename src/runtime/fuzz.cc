@@ -1,0 +1,60 @@
+#include "runtime/fuzz.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace hotstuff1 {
+
+ExperimentConfig FuzzConfigFromSeed(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xf022edULL);
+  ExperimentConfig cfg;
+
+  constexpr ProtocolKind kProtocols[] = {
+      ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2,
+      ProtocolKind::kHotStuff1Basic, ProtocolKind::kHotStuff1,
+      ProtocolKind::kHotStuff1Slotted};
+  cfg.protocol = kProtocols[rng.NextBounded(5)];
+
+  // Small committees dominate (cheap points, most schedule diversity per
+  // token of CPU); one draw in six crosses the 64-replica word boundary.
+  constexpr uint32_t kSmall[] = {4, 7, 10, 16, 25, 33};
+  constexpr uint32_t kWide[] = {65, 96, 128};
+  cfg.n = rng.NextBounded(6) == 0 ? kWide[rng.NextBounded(3)]
+                                  : kSmall[rng.NextBounded(6)];
+  const uint32_t f = (cfg.n - 1) / 3;
+
+  constexpr uint32_t kBatches[] = {10, 25, 50, 100};
+  cfg.batch_size = kBatches[rng.NextBounded(4)];
+
+  constexpr Fault kFaults[] = {Fault::kNone, Fault::kCrash, Fault::kSlowLeader,
+                               Fault::kTailFork, Fault::kRollbackAttack};
+  cfg.fault = kFaults[rng.NextBounded(5)];
+  if (cfg.fault != Fault::kNone) {
+    // Coalition ("collusion") size 1..f; Byzantine coalitions collude by
+    // construction (AdversarySpec::collude).
+    cfg.num_faulty = 1 + static_cast<uint32_t>(rng.NextBounded(std::max(f, 1u)));
+  }
+  if (cfg.fault == Fault::kRollbackAttack) {
+    cfg.rollback_victims =
+        1 + static_cast<uint32_t>(rng.NextBounded(std::max(f, 1u)));
+  }
+
+  constexpr double kBandwidths[] = {2000.0, 20000.0, 200000.0};
+  cfg.bandwidth_bytes_per_us = kBandwidths[rng.NextBounded(3)];
+
+  cfg.sim_jobs = 1u << rng.NextBounded(3);  // 1, 2 or 4 workers
+  cfg.lookahead = rng.NextBool(0.5) ? LookaheadSpec{LookaheadMode::kAuto, 0}
+                                    : LookaheadSpec{LookaheadMode::kOff, 0};
+
+  cfg.num_clients = 2 * cfg.batch_size;
+  // Wide committees pay ~n^2 per view; keep their windows shorter so a fuzz
+  // sweep's cost stays dominated by schedule diversity, not one big point.
+  cfg.duration = cfg.n >= 64 ? Millis(100) : Millis(150);
+  cfg.warmup = Millis(40);
+  cfg.seed = seed;
+  cfg.oracle_enabled = true;
+  return cfg;
+}
+
+}  // namespace hotstuff1

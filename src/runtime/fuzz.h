@@ -1,0 +1,27 @@
+// Seed-derived randomized experiment configurations for the adversary fuzz
+// harness. One helper shared by the `fuzz` registry scenario and
+// tests/fuzz_invariant_test.cc so "a failing seed IS the repro": the tuple
+// (protocol x n x fault x collusion size x batch x bandwidth x lookahead x
+// sim_jobs) is a pure function of the seed, every draw goes through the
+// deterministic Rng, and the invariant oracle is armed on every config.
+
+#ifndef HOTSTUFF1_RUNTIME_FUZZ_H_
+#define HOTSTUFF1_RUNTIME_FUZZ_H_
+
+#include <string>
+
+#include "runtime/experiment.h"
+
+namespace hotstuff1 {
+
+/// Derives one arbitrary-but-reproducible oracle-enabled configuration from
+/// `seed`. Committee sizes span 4..128 (multi-word quorums included, weighted
+/// toward small committees so a fuzz sweep stays cheap); faults cover every
+/// Fault kind with a randomized coalition size <= f and randomized rollback
+/// victim count; the executor axes (sim_jobs, lookahead) are drawn too, so
+/// the oracle's shard-safe bookkeeping is exercised under every scheduler.
+ExperimentConfig FuzzConfigFromSeed(uint64_t seed);
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_RUNTIME_FUZZ_H_

@@ -99,10 +99,18 @@ std::vector<SweepPoint> ExpandScenario(const ScenarioSpec& spec, bool smoke) {
           p.seed = seed;
           p.mode = smoke ? RunMode::kSingle : spec.mode;
           p.config = spec.base;
+          // The point seed is assigned before the mutators run, so an axis
+          // may derive (or wholly replace) the configuration from it — the
+          // fuzz scenario's rows do exactly that. Ordinary axes never touch
+          // config.seed, so they observe the same semantics as before.
+          p.config.seed = seed;
           if (table.apply) table.apply(p.config);
           if (row.apply) row.apply(p.config);
           if (col.apply) col.apply(p.config);
-          p.config.seed = seed;
+          // Reflect any mutator override back into the point, so the CSV
+          // seed column always names the seed the point actually ran —
+          // "a failing seed IS the repro" must survive seed-deriving axes.
+          p.seed = p.config.seed;
           if (smoke) (spec.smoke ? spec.smoke : DefaultSmoke)(p.config);
           points.push_back(std::move(p));
         }

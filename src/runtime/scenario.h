@@ -72,7 +72,10 @@ struct ScenarioRunOptions;  // sweep_runner.h
 ///
 /// Expansion order is tables x rows x cols x seeds (all deterministic), with
 /// mutators applied base -> table -> row -> col, so inner axes may derive
-/// values (timers, durations) from what outer axes already set.
+/// values (timers, durations) from what outer axes already set. The point's
+/// seed is written into the config before the mutators run; axes normally
+/// leave it alone, but may consult or override it (the fuzz scenario derives
+/// entire configurations from per-row seeds).
 ///
 /// Ownership/threading: specs are value types. The registry keeps one copy
 /// alive for the process lifetime and hands out const pointers; the sweep

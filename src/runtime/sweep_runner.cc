@@ -36,6 +36,19 @@ bool SweepOutcome::AnyCapHit() const {
   return false;
 }
 
+uint64_t SweepOutcome::TotalOracleViolations() const {
+  uint64_t total = 0;
+  for (const ExperimentResult& r : results) total += r.oracle_violations;
+  return total;
+}
+
+std::string SweepOutcome::FirstOracleDiagnostic() const {
+  for (const ExperimentResult& r : results) {
+    if (!r.oracle_first_violation.empty()) return r.oracle_first_violation;
+  }
+  return {};
+}
+
 SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
   SweepOutcome outcome;
   outcome.spec = &spec;
@@ -65,6 +78,9 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
     if (!axis_sweeps_lookahead) {
       for (SweepPoint& p : outcome.points) p.config.lookahead = lookahead_;
     }
+  }
+  if (force_oracle_) {
+    for (SweepPoint& p : outcome.points) p.config.oracle_enabled = true;
   }
   outcome.results.resize(outcome.points.size());
 
@@ -135,6 +151,8 @@ std::vector<DiagColumn> DiagColumns(const std::vector<MetricSpec>& metrics) {
       {"safety_ok", [](const ExperimentResult& r) { return r.safety_ok ? "1" : "0"; }},
       {"event_cap_hit",
        [](const ExperimentResult& r) { return r.event_cap_hit ? "1" : "0"; }},
+      {"oracle_violations",
+       [](const ExperimentResult& r) { return std::to_string(r.oracle_violations); }},
   };
   // A scenario metric with the same name (e.g. ablation's "views") already
   // carries the value; drop the diagnostic duplicate.
@@ -232,7 +250,8 @@ void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
 
 void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
   const ScenarioSpec& spec = *outcome.spec;
-  const std::vector<DiagColumn> diags = DiagColumns(spec.metrics);
+  const std::vector<DiagColumn> diags =
+      outcome.synthetic ? std::vector<DiagColumn>{} : DiagColumns(spec.metrics);
   os << "scenario,table,row,col,seed";
   // Nondeterministic metrics (wall_ms) are table-only: the machine-readable
   // bytes must be identical across repeated runs for the CI diff gates.
@@ -257,7 +276,8 @@ void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
 
 void EmitJson(const SweepOutcome& outcome, std::ostream& os) {
   const ScenarioSpec& spec = *outcome.spec;
-  const std::vector<DiagColumn> diags = DiagColumns(spec.metrics);
+  const std::vector<DiagColumn> diags =
+      outcome.synthetic ? std::vector<DiagColumn>{} : DiagColumns(spec.metrics);
   os << "{\"scenario\":\"" << JsonEscape(spec.name) << "\",\"points\":[";
   for (size_t i = 0; i < outcome.points.size(); ++i) {
     const SweepPoint& p = outcome.points[i];
@@ -282,6 +302,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
 
   SweepRunner runner(options.jobs, options.sim_jobs);
   if (options.has_lookahead) runner.OverrideLookahead(options.lookahead);
+  if (options.oracle) runner.ForceOracle();
   const SweepOutcome outcome = runner.Run(spec, options.smoke);
   switch (options.format) {
     case ReportFormat::kTable: EmitTables(outcome, os); break;
@@ -292,11 +313,17 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
     std::cerr << "warning: scenario '" << spec.name
               << "' hit the simulator event cap; results are truncated\n";
   }
+  int code = 0;
+  if (const uint64_t v = outcome.TotalOracleViolations(); v > 0) {
+    std::cerr << "ORACLE VIOLATION in scenario '" << spec.name << "' (" << v
+              << " total): " << outcome.FirstOracleDiagnostic() << "\n";
+    code = 1;
+  }
   if (!outcome.AllSafe()) {
     std::cerr << "SAFETY VIOLATION in scenario '" << spec.name << "'\n";
-    return 1;
+    code = 1;
   }
-  return 0;
+  return code;
 }
 
 }  // namespace hotstuff1

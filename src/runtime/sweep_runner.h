@@ -30,6 +30,9 @@ struct ScenarioRunOptions {
   // scenario sweeps lookahead as an axis.
   bool has_lookahead = false;
   LookaheadSpec lookahead;
+  // Arms the online invariant oracle on every point (--oracle). Scenarios
+  // that enable it in their base config (fuzz) run with it regardless.
+  bool oracle = false;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
   ReportFormat format = ReportFormat::kTable;
   std::ostream* out = nullptr;  // default std::cout
@@ -40,9 +43,18 @@ struct SweepOutcome {
   const ScenarioSpec* spec = nullptr;
   std::vector<SweepPoint> points;
   std::vector<ExperimentResult> results;
+  /// True when the results were synthesized rather than produced by
+  /// experiments (micro's wall-clock points). The machine emitters then
+  /// omit the experiment diagnostic columns (safety_ok, oracle_violations,
+  /// ...) instead of fabricating verdicts for runs that never happened.
+  bool synthetic = false;
 
   bool AllSafe() const;
   bool AnyCapHit() const;
+  /// Sum of invariant-oracle violations across points (0 when disabled).
+  uint64_t TotalOracleViolations() const;
+  /// First oracle diagnostic in spec order; empty when clean.
+  std::string FirstOracleDiagnostic() const;
 };
 
 /// \brief Parallel executor for scenario sweeps.
@@ -66,6 +78,13 @@ class SweepRunner {
     return *this;
   }
 
+  /// Arms the invariant oracle on every point (idempotent with scenarios
+  /// that already enable it; the oracle never changes simulation results).
+  SweepRunner& ForceOracle() {
+    force_oracle_ = true;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
@@ -73,6 +92,7 @@ class SweepRunner {
   int jobs_;
   int sim_jobs_;
   bool has_lookahead_ = false;
+  bool force_oracle_ = false;
   LookaheadSpec lookahead_;
 };
 

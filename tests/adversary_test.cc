@@ -1,0 +1,77 @@
+// MakeAdversaryPlan edge cases: empty plans, full-f coalitions at the
+// smallest and the widest supported committees, rollback-victim clamping,
+// and the shape of the shared faulty mask the oracle and the attack code
+// both consume.
+
+#include <gtest/gtest.h>
+
+#include "runtime/adversary.h"
+
+namespace hotstuff1 {
+namespace {
+
+TEST(AdversaryPlanTest, CountZeroIsAnEmptyPlan) {
+  const AdversaryPlan plan = MakeAdversaryPlan(4, Fault::kCrash, 0);
+  EXPECT_TRUE(plan.members.empty());
+  ASSERT_NE(plan.faulty_mask, nullptr);
+  ASSERT_EQ(plan.faulty_mask->size(), 4u);
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_FALSE((*plan.faulty_mask)[r]) << "replica " << r;
+    EXPECT_EQ(plan.SpecFor(r).fault, Fault::kNone) << "replica " << r;
+  }
+}
+
+TEST(AdversaryPlanTest, FullCoalitionAtSmallestCommittee) {
+  // n = 4, f = 1: the lone faulty replica sits at id 1 so round-robin
+  // leadership reaches it every rotation; id 0 stays the honest observer.
+  const AdversaryPlan plan = MakeAdversaryPlan(4, Fault::kTailFork, 1);
+  EXPECT_EQ(plan.members, (std::vector<ReplicaId>{1}));
+  EXPECT_FALSE((*plan.faulty_mask)[0]);
+  EXPECT_TRUE((*plan.faulty_mask)[1]);
+  const AdversarySpec spec = plan.SpecFor(1);
+  EXPECT_EQ(spec.fault, Fault::kTailFork);
+  EXPECT_TRUE(spec.collude);
+  EXPECT_EQ(spec.faulty, plan.faulty_mask);  // shared, not copied
+}
+
+TEST(AdversaryPlanTest, FullCoalitionAtN128) {
+  // n = 128, f = 42: contiguous ids 1..42, everything above honest.
+  const uint32_t f = (128 - 1) / 3;
+  const AdversaryPlan plan = MakeAdversaryPlan(128, Fault::kCrash, f);
+  ASSERT_EQ(plan.members.size(), f);
+  EXPECT_EQ(plan.members.front(), 1u);
+  EXPECT_EQ(plan.members.back(), f);
+  ASSERT_EQ(plan.faulty_mask->size(), 128u);
+  EXPECT_FALSE((*plan.faulty_mask)[0]);
+  EXPECT_TRUE((*plan.faulty_mask)[f]);
+  EXPECT_FALSE((*plan.faulty_mask)[f + 1]);
+  EXPECT_FALSE((*plan.faulty_mask)[127]);
+  // Crash faults never collude (there is nobody left to collude with).
+  EXPECT_FALSE(plan.SpecFor(1).collude);
+}
+
+TEST(AdversaryPlanTest, RollbackVictimsClampToF) {
+  // Asking for more victims than f would model a client-safety-breaking
+  // adversary (an n-f speculative quorum on the doomed branch), not §7.3.
+  const AdversaryPlan plan =
+      MakeAdversaryPlan(7, Fault::kRollbackAttack, 2, /*rollback_victims=*/6);
+  EXPECT_EQ(plan.rollback_victims, 2u);  // f = 2 at n = 7
+  EXPECT_EQ(plan.SpecFor(1).rollback_victims, 2u);  // spec carries the clamp
+  // In-range requests pass through untouched.
+  EXPECT_EQ(MakeAdversaryPlan(7, Fault::kRollbackAttack, 2, 1).rollback_victims,
+            1u);
+  EXPECT_EQ(MakeAdversaryPlan(32, Fault::kRollbackAttack, 10, 10).rollback_victims,
+            10u);
+}
+
+TEST(AdversaryPlanTest, SpecForHonestReplicaIsInert) {
+  const AdversaryPlan plan = MakeAdversaryPlan(7, Fault::kRollbackAttack, 2, 2);
+  const AdversarySpec honest = plan.SpecFor(0);
+  EXPECT_EQ(honest.fault, Fault::kNone);
+  EXPECT_FALSE(honest.collude);
+  EXPECT_EQ(honest.faulty, nullptr);
+  EXPECT_EQ(honest.rollback_victims, 0u);
+}
+
+}  // namespace
+}  // namespace hotstuff1

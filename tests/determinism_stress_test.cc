@@ -5,6 +5,11 @@
 // must be identical, so parallel-executor regressions surface from plain
 // `ctest` instead of hand-written reproduction scripts; a failure names the
 // seed that rebuilds its exact configuration.
+//
+// Every config runs with the invariant oracle armed: the oracle's shared
+// bookkeeping is itself SyncShared-ordered, so its verdict (zero violations
+// here) and its event stream must be identical under every executor shape —
+// this is the oracle-under-parallelism regression gate.
 
 #include <gtest/gtest.h>
 
@@ -49,6 +54,7 @@ ExperimentConfig ConfigFromSeed(uint64_t seed) {
   cfg.duration = Millis(120);
   cfg.warmup = Millis(40);
   cfg.seed = seed;
+  cfg.oracle_enabled = true;
   return cfg;
 }
 
@@ -60,6 +66,8 @@ TEST_P(DeterminismStress, RandomConfigIsByteIdenticalAcrossExecutors) {
   cfg.lookahead = {LookaheadMode::kOff, 0};
   const ExperimentResult serial = RunExperiment(cfg);
   EXPECT_TRUE(serial.safety_ok) << "seed " << GetParam();
+  EXPECT_EQ(serial.oracle_violations, 0u)
+      << "seed " << GetParam() << ": " << serial.oracle_first_violation;
 
   for (uint32_t sim_jobs : {1u, 4u}) {
     for (LookaheadMode mode : {LookaheadMode::kOff, LookaheadMode::kAuto}) {

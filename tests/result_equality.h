@@ -34,6 +34,11 @@ inline void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& 
   EXPECT_EQ(a.bytes_sent, b.bytes_sent);
   EXPECT_EQ(a.safety_ok, b.safety_ok);
   EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
+  EXPECT_EQ(a.oracle_violations, b.oracle_violations);
+  // Diagnostics embed event counters and virtual timestamps, so equality
+  // here proves the oracle observed the *same* serial event order under
+  // every executor configuration, not just the same verdict.
+  EXPECT_EQ(a.oracle_first_violation, b.oracle_first_violation);
 }
 
 }  // namespace hotstuff1

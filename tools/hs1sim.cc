@@ -47,6 +47,8 @@ void PrintUsage(std::FILE* out) {
                                 (default auto; byte-identical at any value)
   --event_cap=<N>               stop a runaway run after N events (default 0 =
                                 unlimited; truncation is reported, never silent)
+  --oracle                      arm the online invariant oracle (violations
+                                fail the run with a config+seed diagnostic)
   --bandwidth_bytes_per_us=<B>  per-node egress bandwidth (default 2000)
   --paper_point                 throughput at saturation + light-load latency
 
@@ -54,7 +56,7 @@ Registered scenarios (the hs1bench sweep engine):
   --list                        enumerate registered scenarios with their axes
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
-  (--sim-jobs / --lookahead apply to scenario points too)
+  (--sim-jobs / --lookahead / --oracle apply to scenario points too)
 )");
 }
 
@@ -133,6 +135,7 @@ int RunMain(int argc, char** argv) {
     return Usage();
   }
   cfg.event_cap = static_cast<uint64_t>(event_cap);
+  cfg.oracle_enabled = flags.GetBool("oracle", false);
   cfg.bandwidth_bytes_per_us =
       flags.GetDouble("bandwidth_bytes_per_us", cfg.bandwidth_bytes_per_us);
 
@@ -163,7 +166,8 @@ int RunMain(int argc, char** argv) {
   std::printf(
       "RESULT protocol=\"%s\" n=%u batch=%u tput_tps=%.0f lat_avg_ms=%.3f "
       "lat_p50_ms=%.3f lat_p99_ms=%.3f accepted=%llu spec=%llu views=%llu "
-      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d cap_hit=%d\n",
+      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d cap_hit=%d "
+      "oracle_violations=%llu\n",
       res.protocol.c_str(), cfg.n, cfg.batch_size, res.throughput_tps,
       res.avg_latency_ms, res.p50_latency_ms, res.p99_latency_ms,
       static_cast<unsigned long long>(res.accepted),
@@ -173,7 +177,8 @@ int RunMain(int argc, char** argv) {
       static_cast<unsigned long long>(res.timeouts),
       static_cast<unsigned long long>(res.rollback_events),
       static_cast<unsigned long long>(res.resubmissions), res.safety_ok ? 1 : 0,
-      res.event_cap_hit ? 1 : 0);
+      res.event_cap_hit ? 1 : 0,
+      static_cast<unsigned long long>(res.oracle_violations));
 
   std::printf("\n%s, n=%u (f=%u), batch=%u, %s%s\n", res.protocol.c_str(), cfg.n,
               (cfg.n - 1) / 3, cfg.batch_size, workload.c_str(),
@@ -186,11 +191,18 @@ int RunMain(int argc, char** argv) {
               static_cast<unsigned long long>(res.accepted_speculative),
               static_cast<unsigned long long>(res.accepted));
   std::printf("  safety       %10s\n", res.safety_ok ? "OK" : "VIOLATED");
+  if (cfg.oracle_enabled) {
+    std::printf("  oracle       %10s\n",
+                res.oracle_violations == 0 ? "OK" : "VIOLATED");
+    if (res.oracle_violations > 0) {
+      std::printf("  %s\n", res.oracle_first_violation.c_str());
+    }
+  }
   if (res.event_cap_hit) {
     std::printf("  WARNING: the simulator stopped at its event cap - this run "
                 "was truncated, not drained\n");
   }
-  return res.safety_ok ? 0 : 1;
+  return res.safety_ok && res.oracle_violations == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -85,6 +85,7 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
     }
     options->has_lookahead = true;
   }
+  options->oracle = flags.GetBool("oracle", false);
   options->smoke = flags.GetBool("smoke", false);
   const std::string format = flags.GetString("format", "table");
   if (!ParseReportFormat(format, &options->format)) {
