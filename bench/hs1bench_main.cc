@@ -38,6 +38,11 @@ void PrintUsage(std::FILE* out) {
                              (pure observer; violations fail the run with a
                              config+seed diagnostic)
   --smoke                    CI-sized points (short windows, axis endpoints)
+  --repeat=K                 rerun the scenario K times and report median
+                             wall-clock metrics (deterministic output is
+                             byte-identical across reruns by contract)
+  --bench-json=PATH          write the machine-readable perf ledger to PATH
+                             (throughput scenario; see tools/bench_compare.py)
   --help                     this text
 
 Scenario durations honor the H1_DURATION_MS environment override.

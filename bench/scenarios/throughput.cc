@@ -1,0 +1,285 @@
+// Event-loop throughput scenario: the repo's perf baseline. Four rows stress
+// the scheduling hot path from different angles:
+//
+//   timer_ring/64     64 self-rescheduling timers — pure event-loop cost
+//                     (queue push/pop + callback storage), no protocol work.
+//   timer_ring/4096   4096 timers — clustered timestamps, deep queue.
+//   broadcast/n64     a 64-node network broadcast storm — delivery events
+//                     plus per-message allocation churn.
+//   consensus/hs1_n32 a fixed HotStuff-1 committee — the end-to-end mix
+//                     (hashing/signing bound in part, so it moves less than
+//                     the event-loop rows when the loop gets faster).
+//
+// Each row reports a *deterministic* event count (byte-identical across
+// runs, machines, and --jobs/--sim-jobs/--lookahead — CI diffs it) and
+// *nondeterministic* events/s + wall_ms (table-only, behind
+// MetricSpec::deterministic=false). With --repeat=K every row runs K times:
+// the event counts must agree exactly (checked), wall-clock metrics report
+// the median, and the table gains a p50/p99/p999 quantile summary.
+//
+// --bench-json=PATH writes the machine-readable ledger (schema
+// hs1-bench-v1) that tools/bench_compare.py diffs against the committed
+// BENCH_<date>.json. Durations are fixed constants — NOT H1_DURATION_MS —
+// so ledger event counts are comparable across machines and time.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+#include "runtime/report.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_runner.h"
+#include "sim/message_pool.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace hotstuff1 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// A self-rescheduling timer. The capture (two pointers + period + shard) is
+// deliberately larger than std::function's small-buffer optimization, like
+// the network's delivery callbacks — so the row honestly charges whatever
+// per-event storage cost the callback representation pays.
+struct Timer {
+  sim::Simulator* sim;
+  uint64_t* fired;
+  SimTime period;
+  sim::ShardId shard;
+  void operator()() {
+    ++*fired;
+    sim->AfterShard(period, shard, Timer{*this});
+  }
+};
+
+struct RowResult {
+  std::string name;
+  uint64_t events = 0;
+  std::vector<double> wall_ms;  // one sample per repeat
+};
+
+// One measured repeat of a timer ring: `n` timers with coprime-ish periods
+// (clustered, colliding timestamps), run for `duration` of virtual time.
+uint64_t RunTimerRing(uint32_t n, SimTime duration, uint64_t* fired_out) {
+  sim::Simulator sim;
+  uint64_t fired = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const SimTime period = 7 + static_cast<SimTime>(i % 13);
+    sim.AfterShard(period, /*shard=*/i % 64, Timer{&sim, &fired, period, i % 64});
+  }
+  sim.RunUntil(duration);
+  *fired_out = fired;
+  return sim.EventsProcessed();
+}
+
+struct BenchMsg : sim::NetMessage {
+  size_t WireSize() const override { return 256; }
+};
+
+// A broadcast storm: node 0 broadcasts every `period` for `duration`.
+struct Broadcaster {
+  sim::Simulator* sim;
+  sim::Network* net;
+  SimTime period;
+  void operator()() {
+    net->Broadcast(0, sim::MakeMessage<BenchMsg>(), /*include_self=*/false);
+    sim->AfterShard(period, 0, Broadcaster{*this});
+  }
+};
+
+uint64_t RunBroadcast(uint32_t n, SimTime period, SimTime duration,
+                      uint64_t* delivered_out) {
+  sim::Simulator sim;
+  sim::NetworkConfig cfg;
+  cfg.default_latency = Millis(0.4);
+  sim::Network net(&sim, n, cfg);
+  uint64_t delivered = 0;
+  for (sim::NodeId i = 1; i < n; ++i) {
+    net.SetHandler(i, [&delivered](sim::NodeId, const sim::NetMessagePtr&) {
+      ++delivered;
+    });
+  }
+  sim.AfterShard(period, 0, Broadcaster{&sim, &net, period});
+  sim.RunUntil(duration);
+  *delivered_out = delivered;
+  return sim.EventsProcessed();
+}
+
+ExperimentConfig ConsensusConfig32() {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kHotStuff1;
+  cfg.n = 32;
+  cfg.batch_size = 100;
+  cfg.duration = Millis(400);
+  cfg.warmup = Millis(100);
+  cfg.seed = 1;
+  return cfg;
+}
+
+// Spec used purely for emission (micro's synthetic-point pattern): `events`
+// is the one deterministic column; throughput and wall ride behind
+// nondeterministic metrics so CSV/JSON bytes stay repeat-identical.
+ScenarioSpec ThroughputEmitSpec() {
+  ScenarioSpec spec;
+  spec.name = "throughput";
+  spec.title = "Event-loop throughput";
+  spec.row_name = "workload";
+  spec.metrics = {
+      {"events",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.events_processed);
+       },
+       [](double v) { return FormatCount(static_cast<uint64_t>(v)); },
+       /*deterministic=*/true},
+      {"events_per_sec",
+       [](const ExperimentResult& r) { return r.throughput_tps; }, FormatTps,
+       /*deterministic=*/false},
+      {"wall_ms", [](const ExperimentResult& r) { return r.wall_ms; }, FormatMs,
+       /*deterministic=*/false},
+  };
+  return spec;
+}
+
+int RunThroughput(const ScenarioRunOptions& options) {
+  const int repeat = options.repeat < 1 ? 1 : options.repeat;
+  // Smoke shrinks virtual durations ~20x: same rows, CI-sized wall time.
+  const SimTime scale = options.smoke ? 1 : 20;
+  std::vector<RowResult> rows;
+
+  auto measure = [&](const std::string& name, auto&& run) -> bool {
+    RowResult row;
+    row.name = name;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const auto start = Clock::now();
+      const uint64_t events = run();
+      const double ms = ElapsedMs(start);
+      if (rep == 0) {
+        row.events = events;
+      } else if (events != row.events) {
+        // The event count is the determinism self-check: a repeat that
+        // disagrees means the simulator broke its own contract.
+        std::fprintf(stderr,
+                     "throughput: nondeterministic event count in %s "
+                     "(%llu vs %llu)\n",
+                     name.c_str(), static_cast<unsigned long long>(events),
+                     static_cast<unsigned long long>(row.events));
+        return false;
+      }
+      row.wall_ms.push_back(ms);
+    }
+    rows.push_back(std::move(row));
+    return true;
+  };
+
+  uint64_t sink = 0;
+  bool ok = true;
+  ok = ok && measure("timer_ring/64", [&] {
+         return RunTimerRing(64, Millis(20) * scale, &sink);
+       });
+  ok = ok && measure("timer_ring/4096", [&] {
+         return RunTimerRing(4096, Millis(0.75) * scale, &sink);
+       });
+  ok = ok && measure("broadcast/n64", [&] {
+         return RunBroadcast(64, /*period=*/50, Millis(25) * scale, &sink);
+       });
+  ok = ok && measure("consensus/hs1_n32", [&] {
+         ExperimentConfig cfg = ConsensusConfig32();
+         if (options.smoke) {
+           cfg.duration = Millis(60);
+           cfg.warmup = Millis(20);
+         }
+         const ExperimentResult res = RunExperiment(cfg);
+         return res.events_processed;
+       });
+  if (!ok) return 1;
+
+  // Synthesize the standard flat point schema: one point per row, median
+  // wall-clock (stable under --repeat), events/s derived from the median.
+  SweepOutcome outcome;
+  static const ScenarioSpec emit_spec = ThroughputEmitSpec();
+  outcome.spec = &emit_spec;
+  outcome.synthetic = true;
+  std::vector<SampleStats> stats;
+  for (const RowResult& row : rows) {
+    SweepPoint p;
+    p.index = outcome.points.size();
+    p.row_label = row.name;
+    outcome.points.push_back(std::move(p));
+    const SampleStats s = ComputeStats(row.wall_ms);
+    stats.push_back(s);
+    ExperimentResult r;
+    r.events_processed = row.events;
+    r.wall_ms = s.p50;
+    r.throughput_tps =
+        s.p50 > 0 ? static_cast<double>(row.events) / (s.p50 / 1000.0) : 0;
+    outcome.results.push_back(std::move(r));
+  }
+
+  std::ostream& os = options.out ? *options.out : std::cout;
+  switch (options.format) {
+    case ReportFormat::kTable: {
+      EmitTables(outcome, os);
+      if (repeat > 1) {
+        ReportTable quant("Wall-clock quantiles over " +
+                              std::to_string(repeat) + " repeats",
+                          {"workload", "p50", "p99", "p999"});
+        for (size_t i = 0; i < rows.size(); ++i) {
+          quant.AddRow({rows[i].name, FormatMs(stats[i].p50),
+                        FormatMs(stats[i].p99), FormatMs(stats[i].p999)});
+        }
+        quant.Print(os);
+      }
+      break;
+    }
+    case ReportFormat::kCsv: EmitCsv(outcome, os); break;
+    case ReportFormat::kJson: EmitJson(outcome, os); break;
+  }
+
+  if (!options.bench_json.empty()) {
+    std::ofstream ledger(options.bench_json);
+    if (!ledger) {
+      std::fprintf(stderr, "throughput: cannot write --bench-json=%s\n",
+                   options.bench_json.c_str());
+      return 1;
+    }
+    ledger << "{\"schema\":\"hs1-bench-v1\",\"scenario\":\"throughput\","
+           << "\"mode\":\"" << (options.smoke ? "smoke" : "full") << "\","
+           << "\"repeat\":" << repeat << ",\"rows\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ExperimentResult& r = outcome.results[i];
+      char buf[64];
+      ledger << (i == 0 ? "" : ",") << "\n  {\"name\":\""
+             << JsonEscape(rows[i].name) << "\",\"events\":" << r.events_processed;
+      std::snprintf(buf, sizeof(buf), "%.3f", r.wall_ms);
+      ledger << ",\"wall_ms\":" << buf;
+      std::snprintf(buf, sizeof(buf), "%.1f", r.throughput_tps);
+      ledger << ",\"events_per_sec\":" << buf << "}";
+    }
+    ledger << "\n]}\n";
+  }
+  return 0;
+}
+
+ScenarioSpec Throughput() {
+  ScenarioSpec spec;
+  spec.name = "throughput";
+  spec.title = "Event-loop throughput";
+  spec.description =
+      "events/s of the scheduling hot path (perf ledger rows; custom run)";
+  spec.custom_run = RunThroughput;
+  return spec;
+}
+
+HS1_REGISTER_SCENARIO(Throughput);
+
+}  // namespace
+}  // namespace hotstuff1

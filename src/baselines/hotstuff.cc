@@ -1,6 +1,7 @@
 #include "baselines/hotstuff.h"
 
 #include "common/logging.h"
+#include "sim/message_pool.h"
 #include "runtime/adversary.h"
 #include "runtime/oracle.h"
 
@@ -29,7 +30,7 @@ void ChainedReplica::OnEnterView(uint64_t v) {
   if (v == 1) {
     // Bootstrap: there is no view 0 to exit, so every replica hands L_1 a
     // NewView over the hard-coded genesis certificate (§4.1 note).
-    auto nv = std::make_shared<NewViewMsg>(id_);
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = 1;
     nv->high_cert = high_cert_;
     nv->has_share = false;
@@ -59,7 +60,7 @@ void ChainedReplica::OnEnterView(uint64_t v) {
 }
 
 void ChainedReplica::OnViewTimeout(uint64_t v) {
-  auto nv = std::make_shared<NewViewMsg>(id_);
+  auto nv = sim::MakeMessage<NewViewMsg>(id_);
   nv->target_view = v + 1;
   nv->high_cert = high_cert_;
   nv->has_share = false;
@@ -93,7 +94,7 @@ void ChainedReplica::HandlePropose(const ProposeMsg& msg) {
 
   if (!EnsureBlock(msg.justify.block_hash(), msg.sender)) {
     // Parent missing: stash and retry once the fetch completes (§4.2).
-    pending_votes_[v] = std::make_shared<ProposeMsg>(msg);
+    pending_votes_[v] = sim::MakeMessage<ProposeMsg>(msg);
     return;
   }
   const BlockPtr certified = store_.GetOrNull(msg.justify.block_hash());
@@ -111,7 +112,7 @@ void ChainedReplica::HandlePropose(const ProposeMsg& msg) {
     // already holds a higher certificate it formed from vote shares).
     if (view() == v && v > exited_view_) ExitView(v);
   } else if (v > view()) {
-    pending_votes_[v] = std::make_shared<ProposeMsg>(msg);
+    pending_votes_[v] = sim::MakeMessage<ProposeMsg>(msg);
   }
 }
 
@@ -131,7 +132,7 @@ void ChainedReplica::VoteOn(const ProposeMsg& msg) {
 
   voted_view_ = v;
   ++metrics_.votes_sent;
-  auto nv = std::make_shared<NewViewMsg>(id_);
+  auto nv = sim::MakeMessage<NewViewMsg>(id_);
   nv->target_view = v + 1;
   nv->high_cert = high_cert_;
   nv->has_share = true;
@@ -232,10 +233,10 @@ void ChainedReplica::Propose(uint64_t v) {
       std::vector<bool> mask_b(config_.n);
       for (ReplicaId r = 0; r < config_.n; ++r) mask_b[r] = !mask_a[r];
 
-      auto msg_a = std::make_shared<ProposeMsg>(id_);
+      auto msg_a = sim::MakeMessage<ProposeMsg>(id_);
       msg_a->block = block_a;
       msg_a->justify = honest;
-      auto msg_b = std::make_shared<ProposeMsg>(id_);
+      auto msg_b = sim::MakeMessage<ProposeMsg>(id_);
       msg_b->block = block_b;
       msg_b->justify = *prev;
       ++metrics_.blocks_proposed;
@@ -268,7 +269,7 @@ void ChainedReplica::BuildAndSend(uint64_t v, const Certificate& justify) {
   ++metrics_.blocks_proposed;
   ++metrics_.slots_proposed;
 
-  auto msg = std::make_shared<ProposeMsg>(id_);
+  auto msg = sim::MakeMessage<ProposeMsg>(id_);
   msg->block = std::move(block);
   msg->justify = justify;
   Broadcast(std::move(msg));

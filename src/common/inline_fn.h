@@ -1,0 +1,153 @@
+// Move-only type-erased callable with small-buffer storage, sized for the
+// simulator's event callbacks. std::function's inline buffer (16 bytes on
+// libstdc++) is too small for the hot callbacks this codebase schedules —
+// a network delivery captures {network*, from, to, shared_ptr<msg>} = 32
+// bytes — so every such event paid a heap allocation. InlineFn stores
+// captures up to 48 bytes in place (64 bytes total with the vtable pointer,
+// one cache line), falling back to the heap only for oversized captures.
+//
+// Differences from std::function, both deliberate:
+//   * move-only (events are scheduled once and run once; copyability would
+//     force captured state to be copyable for no reason);
+//   * no bad_function_call — invoking an empty InlineFn is UB, checked by
+//     the caller owning the slot (the event arena never runs a freed slot).
+
+#ifndef HOTSTUFF1_COMMON_INLINE_FN_H_
+#define HOTSTUFF1_COMMON_INLINE_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hotstuff1 {
+
+class InlineFn {
+ public:
+  /// Largest capture stored without a heap allocation.
+  static constexpr size_t kInlineSize = 48;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      Relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        Relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  ~InlineFn() { Reset(); }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    // Move-constructs *src into dst and destroys *src (relocation); both
+    // point at kInlineSize-byte buffers. nullptr when a raw buffer copy is
+    // equivalent (trivially copyable inline captures, and the heap pointer),
+    // which keeps the common relocation an inlinable memcpy instead of an
+    // indirect call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr when destruction is a no-op (trivially destructible inline
+    // captures) — releasing a slot then costs one branch.
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename D>
+  static void InlineInvoke(void* obj) {
+    (*static_cast<D*>(obj))();
+  }
+  template <typename D>
+  static void InlineRelocate(void* dst, void* src) noexcept {
+    D* s = static_cast<D*>(src);
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void InlineDestroy(void* obj) noexcept {
+    static_cast<D*>(obj)->~D();
+  }
+
+  template <typename D>
+  static void HeapInvoke(void* obj) {
+    (**static_cast<D**>(obj))();
+  }
+  template <typename D>
+  static void HeapDestroy(void* obj) noexcept {
+    delete *static_cast<D**>(obj);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      &InlineInvoke<D>,
+      std::is_trivially_copyable_v<D> ? nullptr : &InlineRelocate<D>,
+      std::is_trivially_destructible_v<D> ? nullptr : &InlineDestroy<D>};
+  template <typename D>
+  static constexpr Ops kHeapOps{&HeapInvoke<D>, nullptr, &HeapDestroy<D>};
+
+  void Relocate(void* dst, void* src) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(dst, src);
+    } else {
+      // Copying the full buffer (not sizeof(D), unknown here) is fine: the
+      // bytes past the capture are indeterminate either way.
+      std::memcpy(dst, src, kInlineSize);
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hotstuff1
+
+#endif  // HOTSTUFF1_COMMON_INLINE_FN_H_

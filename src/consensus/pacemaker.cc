@@ -1,6 +1,7 @@
 #include "consensus/pacemaker.h"
 
 #include "common/logging.h"
+#include "sim/message_pool.h"
 
 namespace hotstuff1 {
 
@@ -39,7 +40,7 @@ void Pacemaker::CompletedView(uint64_t next_view) {
 void Pacemaker::SynchronizeEpoch(uint64_t view) {
   waiting_for_tc_ = true;
   pending_epoch_view_ = view;
-  auto msg = std::make_shared<WishMsg>(signer_.id());
+  auto msg = sim::MakeMessage<WishMsg>(signer_.id());
   msg->view = view;
   msg->share = signer_.Sign(SignDomain::kWish, WishDigest(view));
   for (uint32_t k = 0; k <= f_; ++k) {
@@ -59,7 +60,7 @@ void Pacemaker::OnWish(const WishMsg& msg) {
   ws.sigs.push_back(msg.share);
   if (ws.signers.Count() >= n_ - f_) {
     ws.tc_sent = true;
-    auto tc = std::make_shared<TimeoutCertMsg>(signer_.id());
+    auto tc = sim::MakeMessage<TimeoutCertMsg>(signer_.id());
     tc->view = msg.view;
     tc->sigs = ws.sigs;
     cb_.broadcast_tc(std::move(tc));
@@ -78,7 +79,7 @@ void Pacemaker::OnTimeoutCert(const TimeoutCertMsg& msg) {
 
   // Relay to the epoch's leaders so that a leader that missed the Wish
   // quorum still learns the certificate (Fig. 3 line 15).
-  auto relay = std::make_shared<TimeoutCertMsg>(signer_.id());
+  auto relay = sim::MakeMessage<TimeoutCertMsg>(signer_.id());
   relay->view = msg.view;
   relay->sigs = msg.sigs;
   for (uint32_t k = 0; k <= f_; ++k) {

@@ -1,6 +1,7 @@
 #include "consensus/replica.h"
 
 #include "common/logging.h"
+#include "sim/message_pool.h"
 #include "runtime/oracle.h"
 
 namespace hotstuff1 {
@@ -199,7 +200,7 @@ bool ReplicaBase::EnsureBlock(const Hash256& hash, ReplicaId hint) {
   // plus slack.
   it->second = Now() + 4 * config_.delta;
   ++metrics_.fetches;
-  auto req = std::make_shared<FetchRequestMsg>(id_);
+  auto req = sim::MakeMessage<FetchRequestMsg>(id_);
   req->hash = hash;
   // Ask the hint plus f other replicas: at least one correct replica that
   // voted for the block will answer (§4.2).
@@ -216,7 +217,7 @@ bool ReplicaBase::EnsureBlock(const Hash256& hash, ReplicaId hint) {
 void ReplicaBase::HandleFetchRequest(const FetchRequestMsg& msg) {
   const BlockPtr block = store_.GetOrNull(msg.hash);
   if (!block) return;
-  auto resp = std::make_shared<FetchResponseMsg>(id_);
+  auto resp = sim::MakeMessage<FetchResponseMsg>(id_);
   resp->block = block;
   SendTo(msg.sender, resp);
 }

@@ -1,6 +1,7 @@
 #include "core/hotstuff1_basic.h"
 
 #include "common/logging.h"
+#include "sim/message_pool.h"
 #include "runtime/oracle.h"
 
 namespace hotstuff1 {
@@ -34,7 +35,7 @@ void HotStuff1BasicReplica::OnEnterView(uint64_t v) {
 
   if (v == 1) {
     // Bootstrap: no view 0 exists; hand L_1 a NewView over genesis.
-    auto nv = std::make_shared<NewViewMsg>(id_);
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = 1;
     nv->high_cert = high_prepare_;
     nv->has_share = false;
@@ -59,7 +60,7 @@ void HotStuff1BasicReplica::OnEnterView(uint64_t v) {
 }
 
 void HotStuff1BasicReplica::OnViewTimeout(uint64_t v) {
-  auto nv = std::make_shared<NewViewMsg>(id_);
+  auto nv = sim::MakeMessage<NewViewMsg>(id_);
   nv->target_view = v + 1;
   nv->high_cert = high_prepare_;
   nv->has_share = false;
@@ -145,7 +146,7 @@ void HotStuff1BasicReplica::Propose(uint64_t v) {
       store_.Put(block);
       RecordJustify(block->hash(), high_prepare_);
       ++metrics_.blocks_proposed;
-      auto msg = std::make_shared<ProposeMsg>(id_);
+      auto msg = sim::MakeMessage<ProposeMsg>(id_);
       msg->block = std::move(block);
       msg->justify = high_prepare_;
       msg->commit_cert = high_commit_;
@@ -168,7 +169,7 @@ void HotStuff1BasicReplica::Propose(uint64_t v) {
   ++metrics_.blocks_proposed;
   ++metrics_.slots_proposed;
 
-  auto msg = std::make_shared<ProposeMsg>(id_);
+  auto msg = sim::MakeMessage<ProposeMsg>(id_);
   msg->block = std::move(block);
   msg->justify = high_prepare_;
   msg->commit_cert = high_commit_;
@@ -184,7 +185,7 @@ void HotStuff1BasicReplica::HandlePropose(const ProposeMsg& msg) {
   if (msg.block->parent_hash() != msg.justify.block_hash()) return;
   if (!EnsureBlock(msg.justify.block_hash(), msg.sender)) {
     pending_proposals_[std::max<uint64_t>(v, view())] =
-        std::make_shared<ProposeMsg>(msg);
+        sim::MakeMessage<ProposeMsg>(msg);
     return;
   }
   const BlockPtr parent = store_.GetOrNull(msg.justify.block_hash());
@@ -202,7 +203,7 @@ void HotStuff1BasicReplica::HandlePropose(const ProposeMsg& msg) {
   }
 
   if (v != view()) {
-    if (v > view()) pending_proposals_[v] = std::make_shared<ProposeMsg>(msg);
+    if (v > view()) pending_proposals_[v] = sim::MakeMessage<ProposeMsg>(msg);
     return;
   }
   if (voted_view_ >= v) return;
@@ -216,7 +217,7 @@ void HotStuff1BasicReplica::HandlePropose(const ProposeMsg& msg) {
 
   voted_view_ = v;
   ++metrics_.votes_sent;
-  auto vote = std::make_shared<VoteMsg>(id_);
+  auto vote = sim::MakeMessage<VoteMsg>(id_);
   vote->vote_kind = CertKind::kPrepare;
   vote->context_view = v;
   vote->block_id = msg.block->id();
@@ -253,7 +254,7 @@ void HotStuff1BasicReplica::HandleVote(const VoteMsg& msg) {
     Certificate prepare = st.vote_acc->Build();
     if (oracle_) oracle_->OnCertificateFormed(id_, prepare);
     UpdateHighPrepare(prepare);
-    auto prep = std::make_shared<PrepareMsg>(id_);
+    auto prep = sim::MakeMessage<PrepareMsg>(id_);
     prep->cert = std::move(prepare);
     Broadcast(std::move(prep));
   }
@@ -268,7 +269,7 @@ void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
   const BlockPtr certified = store_.GetOrNull(cert.block_hash());
   if (!certified) {
     // Prepare raced ahead of its proposal; buffer until the block arrives.
-    if (v >= view()) pending_prepares_[v] = std::make_shared<PrepareMsg>(msg);
+    if (v >= view()) pending_prepares_[v] = sim::MakeMessage<PrepareMsg>(msg);
     return;
   }
   UpdateHighPrepare(cert);
@@ -305,7 +306,7 @@ void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
   // Vote to commit (Fig. 2 lines 28-29) and move to the next view.
   if (v == view() && v > exited_view_ && commit_voted_view_ < v) {
     commit_voted_view_ = v;
-    auto nv = std::make_shared<NewViewMsg>(id_);
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = v + 1;
     nv->high_cert = high_prepare_;
     nv->has_share = true;

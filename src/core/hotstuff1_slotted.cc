@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/message_pool.h"
 #include "runtime/oracle.h"
 
 namespace hotstuff1 {
@@ -76,7 +77,7 @@ void HotStuff1SlottedReplica::OnEnterView(uint64_t v) {
   if (v == 1) {
     // Bootstrap: there is no view 0 to time out of, so every replica sends
     // L_1 an initial NewView voting for the hard-coded genesis (§4.1 note).
-    auto nv = std::make_shared<NewViewMsg>(id_);
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = 1;
     nv->high_cert = high_cert_;
     nv->has_share = true;
@@ -108,7 +109,7 @@ void HotStuff1SlottedReplica::OnViewTimeout(uint64_t v) {
   // The normal end of a slotted view (§6.1 View-change): hand the next
   // leader our highest certificate and a New-View share over our highest
   // voted block H_h (Fig. 7 lines 27-31).
-  auto nv = std::make_shared<NewViewMsg>(id_);
+  auto nv = sim::MakeMessage<NewViewMsg>(id_);
   nv->target_view = v + 1;
   nv->high_cert = high_cert_;
   nv->has_share = true;
@@ -280,7 +281,7 @@ void HotStuff1SlottedReplica::SendProposal(uint64_t v, uint32_t slot,
   st.slot_acc.emplace(CertKind::kNewSlot, v, block->id(), block->hash(),
                       config_.quorum());
 
-  auto msg = std::make_shared<ProposeMsg>(id_);
+  auto msg = sim::MakeMessage<ProposeMsg>(id_);
   msg->block = std::move(block);
   msg->justify = justify;
   msg->carry = std::move(carry);
@@ -441,7 +442,7 @@ void HotStuff1SlottedReplica::HandlePropose(const ProposeMsg& msg) {
   if (!parent) {
     EnsureBlock(msg.block->parent_hash(), msg.sender);
     pending_proposals_[std::max<uint64_t>(v, view())].push_back(
-        std::make_shared<ProposeMsg>(msg));
+        sim::MakeMessage<ProposeMsg>(msg));
     return;
   }
   if (msg.block->height() != parent->height() + 1) return;
@@ -457,7 +458,7 @@ void HotStuff1SlottedReplica::HandlePropose(const ProposeMsg& msg) {
   // Voting.
   if (v != view()) {
     if (v > view()) {
-      pending_proposals_[v].push_back(std::make_shared<ProposeMsg>(msg));
+      pending_proposals_[v].push_back(sim::MakeMessage<ProposeMsg>(msg));
     }
     return;
   }
@@ -472,7 +473,7 @@ void HotStuff1SlottedReplica::HandlePropose(const ProposeMsg& msg) {
     high_voted_id_ = msg.block->id();
     high_voted_hash_ = msg.block->hash();
     ++metrics_.votes_sent;
-    auto vote = std::make_shared<VoteMsg>(id_);
+    auto vote = sim::MakeMessage<VoteMsg>(id_);
     vote->vote_kind = CertKind::kNewSlot;
     vote->context_view = v;
     vote->block_id = msg.block->id();
@@ -484,7 +485,7 @@ void HotStuff1SlottedReplica::HandlePropose(const ProposeMsg& msg) {
   } else {
     next_slot_ = s + 1;  // Fig. 7 line 26: the slot is consumed either way
     ++metrics_.rejects_sent;
-    auto rej = std::make_shared<RejectMsg>(id_);
+    auto rej = sim::MakeMessage<RejectMsg>(id_);
     rej->view = v;
     rej->slot = s;
     rej->high_cert = high_cert_;

@@ -260,6 +260,7 @@ ExperimentResult Experiment::Run() {
   }
   res.safety_ok = CheckSafety();
   res.event_cap_hit = sim_->cap_hit();
+  res.events_processed = sim_->EventsProcessed();
   if (oracle_) {
     res.oracle_violations = oracle_->violations();
     res.oracle_first_violation = oracle_->FirstDiagnostic();

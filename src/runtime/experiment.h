@@ -149,6 +149,9 @@ struct ExperimentResult {
   uint64_t bytes_sent = 0;
   bool safety_ok = true;  // committed prefixes agree across correct replicas
   bool event_cap_hit = false;  // simulator stopped at its event cap: truncated run
+  // Simulator events executed during the whole run (setup + warmup +
+  // measurement). Deterministic: identical at any jobs/sim-jobs/lookahead.
+  uint64_t events_processed = 0;
   // Online invariant-oracle verdict (0 and empty when the oracle is off or
   // the run is clean). Deterministic: identical at any jobs/sim-jobs/lookahead.
   uint64_t oracle_violations = 0;

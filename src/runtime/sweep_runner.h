@@ -34,6 +34,15 @@ struct ScenarioRunOptions {
   // that enable it in their base config (fuzz) run with it regardless.
   bool oracle = false;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
+  // Reruns the scenario this many times and reports *median* wall-clock
+  // metrics (--repeat). Deterministic metrics are byte-identical across the
+  // reruns by contract, so only wall_ms-derived values change; medians make
+  // BENCH ledgers stable enough to gate on.
+  int repeat = 1;
+  // When non-empty, perf scenarios (throughput) additionally write their
+  // machine-readable ledger to this path (--bench-json). Sweep scenarios
+  // ignore it.
+  std::string bench_json;
   ReportFormat format = ReportFormat::kTable;
   std::ostream* out = nullptr;  // default std::cout
 };

@@ -1,0 +1,54 @@
+#include "sim/message_pool.h"
+
+namespace hotstuff1::sim {
+
+struct MessagePool::Cache {
+  // free_[c] holds recycled blocks of ClassBytes(c); LIFO for cache warmth.
+  void* free_[kClasses][kCacheCap];
+  size_t depth_[kClasses] = {};
+
+  ~Cache() {
+    for (size_t c = 0; c < kClasses; ++c) {
+      for (size_t i = 0; i < depth_[c]; ++i) ::operator delete(free_[c][i]);
+    }
+  }
+};
+
+MessagePool::Cache& MessagePool::Tls() {
+  thread_local Cache cache;
+  return cache;
+}
+
+void* MessagePool::Allocate(size_t n) {
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) return ::operator new(n);
+  const size_t c = ClassOf(n);
+  Cache& cache = Tls();
+  if (cache.depth_[c] > 0) return cache.free_[c][--cache.depth_[c]];
+  // Miss: carve a full class-sized block so any same-class free can reuse it.
+  return ::operator new(ClassBytes(c));
+}
+
+void MessagePool::Deallocate(void* p, size_t n) noexcept {
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) {
+    ::operator delete(p);
+    return;
+  }
+  const size_t c = ClassOf(n);
+  Cache& cache = Tls();
+  if (cache.depth_[c] < kCacheCap) {
+    cache.free_[c][cache.depth_[c]++] = p;
+    return;
+  }
+  ::operator delete(p);
+}
+
+size_t MessagePool::TlsCachedBlocks() {
+  Cache& cache = Tls();
+  size_t total = 0;
+  for (size_t c = 0; c < kClasses; ++c) total += cache.depth_[c];
+  return total;
+}
+
+}  // namespace hotstuff1::sim

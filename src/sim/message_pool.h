@@ -1,0 +1,100 @@
+// Pooled allocation for simulated wire messages.
+//
+// Consensus traffic allocates the same handful of message shapes millions of
+// times per run (a broadcast fans one NetMessagePtr out to n nodes, but every
+// *distinct* message is a fresh shared_ptr control block + payload). The
+// general-purpose allocator handles that fine in isolation; under the sweep
+// runner's thread pool it becomes the dominant source of cross-thread
+// contention and cache churn. MakeMessage<T> routes the combined
+// payload+control-block allocation of std::allocate_shared through small
+// per-thread size-class caches, so the steady state of a run recycles message
+// blocks with zero allocator traffic.
+//
+// Threading: a message may be allocated on one thread (sender shard) and
+// released on another (last receiver to drop its reference). Caches are
+// strictly thread-local — a block freed on thread B enters B's cache and is
+// reused by B — so no atomics or locks are involved anywhere. Each cache
+// drains itself on thread exit, keeping leak detectors quiet.
+//
+// Determinism: block addresses differ run-to-run (exactly as with the global
+// allocator); nothing in the simulator keys ordering off message addresses.
+
+#ifndef HOTSTUFF1_SIM_MESSAGE_POOL_H_
+#define HOTSTUFF1_SIM_MESSAGE_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hotstuff1::sim {
+
+/// Thread-local size-class pool. Blocks of up to kMaxPooled bytes are rounded
+/// up to a 64-byte class and recycled through a bounded per-thread free list;
+/// larger (or overflow) blocks fall through to operator new/delete.
+class MessagePool {
+ public:
+  static constexpr size_t kGranularity = 64;
+  static constexpr size_t kClasses = 16;
+  static constexpr size_t kMaxPooled = kGranularity * kClasses;  // 1024 bytes
+  /// Per-class, per-thread cache depth. Sized for the deepest in-flight
+  /// message population a node fan-out produces (n=128 broadcast plus queued
+  /// ingress); beyond it, frees go straight back to the heap.
+  static constexpr size_t kCacheCap = 256;
+
+  static void* Allocate(size_t n);
+  static void Deallocate(void* p, size_t n) noexcept;
+
+  /// Calling thread's cache hit/miss counters (tests).
+  static size_t TlsCachedBlocks();
+
+ private:
+  static constexpr size_t ClassOf(size_t n) { return (n - 1) / kGranularity; }
+  static constexpr size_t ClassBytes(size_t c) { return (c + 1) * kGranularity; }
+
+  struct Cache;
+  static Cache& Tls();
+};
+
+/// Minimal C++17 allocator over MessagePool. Stateless; all instances equal.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "MessagePool blocks are max_align_t-aligned");
+    return static_cast<T*>(MessagePool::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    MessagePool::Deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Drop-in replacement for std::make_shared at message construction sites.
+/// One pooled block holds the control block and the T payload (same layout
+/// trick as make_shared), so a message costs zero heap allocations once the
+/// calling thread's cache has warmed up.
+template <typename T, typename... Args>
+std::shared_ptr<T> MakeMessage(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>{},
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace hotstuff1::sim
+
+#endif  // HOTSTUFF1_SIM_MESSAGE_POOL_H_

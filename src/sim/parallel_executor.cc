@@ -22,6 +22,24 @@ struct TickContext {
 };
 thread_local TickContext tls_ctx;
 
+// Chain-handoff protocol (state_ array). A claimer whose same-shard
+// predecessor is still running cannot execute its event yet; instead of
+// blocking (the old WaitEventDone), it exchanges kClaimerPassed into the
+// event's state and moves on to the next task. The predecessor's runner,
+// after finishing, exchanges kPrevDone into the successor's state. Whichever
+// exchange runs SECOND sees the other side's mark and owns the event —
+// exchanges on one atomic are totally ordered, so exactly one side runs it.
+// The winner being the predecessor's runner is the common case, which makes
+// one thread execute a whole per-shard chain back to back.
+//
+// Deadlock-freedom (why renouncing preserves the old claim discipline's
+// guarantee): no thread ever blocks on a chain link, so every claimed index
+// is either executed or handed to a runner that executes it; the globally
+// smallest incomplete event's predecessor is always complete, so its runner
+// is never parked in SyncShared and progress is assured.
+constexpr uint8_t kStateClaimerPassed = 1;
+constexpr uint8_t kStatePrevDone = 2;
+
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(Simulator* sim, int jobs) : sim_(sim) {
@@ -74,16 +92,17 @@ void ParallelExecutor::Drain(SimTime limit) {
   // a finite event cap pins the executor to the tick path (see header).
   const SimTime window = sim_->lookahead_;
   const bool windowed = window > 1 && sim_->event_cap_ == UINT64_MAX;
-  auto& q = sim_->queue_;
   std::vector<TickEvent> round;
-  while (!q.empty() && q.top().time <= limit) {
+  EventHandle h;
+  ShardId shard = kShardSerial;
+  while (sim_->PeekEvent(&h, &shard) && h.time <= limit) {
     if (sim_->events_processed_ >= sim_->event_cap_) {
       sim_->cap_hit_ = true;
       break;
     }
-    const SimTime t = q.top().time;
+    const SimTime t = h.time;
     sim_->now_ = t;
-    if (!windowed || q.top().shard == kShardSerial) {
+    if (!windowed || shard == kShardSerial) {
       // Tick path: also the barrier fallback under lookahead (the tick
       // machinery orders barriers against their same-tick neighbors).
       if (RunTickRounds(t, limit, round)) break;
@@ -131,19 +150,20 @@ bool ParallelExecutor::RunTickRounds(SimTime t, SimTime limit,
 }
 
 void ParallelExecutor::SerialCapTail(SimTime limit) {
-  auto& q = sim_->queue_;
-  while (!q.empty() && q.top().time <= limit) {
+  EventHandle h;
+  while (sim_->queue_.Peek(&h) && h.time <= limit) {
     if (!sim_->Step()) break;  // Step sets cap_hit_ at the cap
   }
 }
 
 void ParallelExecutor::PopWindow(SimTime horizon) {
-  auto& q = sim_->queue_;
   // The pop order is the serial execution order (time, seq); stopping at the
   // first barrier keeps the popped set a clean prefix of it.
-  while (!q.empty() && q.top().time < horizon && q.top().shard != kShardSerial) {
-    Simulator::Event ev = std::move(const_cast<Simulator::Event&>(q.top()));
-    q.pop();
+  EventHandle h;
+  ShardId shard = kShardSerial;
+  while (sim_->PeekEvent(&h, &shard) && h.time < horizon &&
+         shard != kShardSerial) {
+    Simulator::Event ev = sim_->PopEvent();
     auto we = std::make_unique<WindowEvent>();
     we->time = ev.time;
     we->shard = ev.shard;
@@ -155,7 +175,7 @@ void ParallelExecutor::PopWindow(SimTime horizon) {
   }
   win_outstanding_ = win_events_.size();
   // Initially claimable: each shard's first event.
-  for (const auto& [shard, events] : win_shard_) {
+  for (const auto& [s, events] : win_shard_) {
     win_ready_.insert(*events.begin());
   }
   win_horizon_ = horizon;
@@ -163,8 +183,9 @@ void ParallelExecutor::PopWindow(SimTime horizon) {
   // reach it before anything still queued: strictly before the first
   // unpopped event (a barrier, or the first event at/after the horizon) —
   // at equal timestamps the queued event's smaller sequence number wins.
-  win_inline_ceiling_ =
-      q.empty() ? horizon : std::min<SimTime>(horizon, q.top().time);
+  win_inline_ceiling_ = sim_->queue_.Peek(&h)
+                            ? std::min<SimTime>(horizon, h.time)
+                            : horizon;
 }
 
 void ParallelExecutor::RunWindow() {
@@ -194,10 +215,15 @@ void ParallelExecutor::WindowLoopLocked(std::unique_lock<std::mutex>& lk) {
       // guarantee that makes SyncShared's global-minimum wait deadlock-free.
       WindowEvent* ev = *win_ready_.begin();
       win_ready_.erase(win_ready_.begin());
-      lk.unlock();
-      RunWindowEvent(ev);
-      lk.lock();
-      CompleteWindowEventLocked(ev);
+      // Successor continuation: when the finished event's shard successor is
+      // smaller than everything in the ready set, it is exactly what the
+      // loop would claim next — run it directly, skipping a wakeup.
+      do {
+        lk.unlock();
+        RunWindowEvent(ev);
+        lk.lock();
+        ev = CompleteWindowEventLocked(ev);
+      } while (ev != nullptr);
       continue;
     }
     if (win_outstanding_ == 0) return;
@@ -205,18 +231,25 @@ void ParallelExecutor::WindowLoopLocked(std::unique_lock<std::mutex>& lk) {
   }
 }
 
-void ParallelExecutor::CompleteWindowEventLocked(WindowEvent* ev) {
+ParallelExecutor::WindowEvent* ParallelExecutor::CompleteWindowEventLocked(
+    WindowEvent* ev) {
   const bool was_min = *win_pending_.begin() == ev;
   win_pending_.erase(ev);
   auto shard_it = win_shard_.find(ev->shard);
   shard_it->second.erase(ev);
+  WindowEvent* next = nullptr;
   if (shard_it->second.empty()) {
     win_shard_.erase(shard_it);
   } else {
     // The shard's next event becomes claimable (only a head can have been
     // claimed, so the successor is necessarily unclaimed).
-    win_ready_.insert(*shard_it->second.begin());
-    win_ready_cv_.notify_one();
+    WindowEvent* succ = *shard_it->second.begin();
+    if (win_ready_.empty() || KeyOrder{}(succ, *win_ready_.begin())) {
+      next = succ;  // caller continues with it directly
+    } else {
+      win_ready_.insert(succ);
+      win_ready_cv_.notify_one();
+    }
   }
   --win_outstanding_;
   if (win_outstanding_ == 0) {
@@ -226,6 +259,7 @@ void ParallelExecutor::CompleteWindowEventLocked(WindowEvent* ev) {
     // A new global minimum: exactly what SyncShared waiters poll for.
     win_min_cv_.notify_all();
   }
+  return next;
 }
 
 void ParallelExecutor::RunWindowEvent(WindowEvent* ev) {
@@ -301,24 +335,22 @@ void ParallelExecutor::CommitWindow() {
 }
 
 void ParallelExecutor::PopRound(SimTime t, std::vector<TickEvent>* out) {
-  auto& q = sim_->queue_;
   auto& last_of_shard = last_of_shard_;
   last_of_shard.clear();
-  while (!q.empty() && q.top().time == t) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately.
-    Simulator::Event ev = std::move(const_cast<Simulator::Event&>(q.top()));
-    q.pop();
+  EventHandle h;
+  while (sim_->queue_.Peek(&h) && h.time == t) {
+    Simulator::Event ev = sim_->PopEvent();
     TickEvent te;
     te.seq = ev.seq;
     te.shard = ev.shard;
     te.cb = std::move(ev.cb);
     if (te.shard != kShardSerial) {
-      auto [it, inserted] =
-          last_of_shard.try_emplace(te.shard, static_cast<int>(out->size()));
+      const int idx = static_cast<int>(out->size());
+      auto [it, inserted] = last_of_shard.try_emplace(te.shard, idx);
       if (!inserted) {
         te.prev_same_shard = it->second;
-        it->second = static_cast<int>(out->size());
+        (*out)[it->second].next_same_shard = idx;
+        it->second = idx;
       }
     }
     out->push_back(std::move(te));
@@ -328,11 +360,14 @@ void ParallelExecutor::PopRound(SimTime t, std::vector<TickEvent>* out) {
 void ParallelExecutor::RunRound(std::vector<TickEvent>& round) {
   const size_t n = round.size();
   round_ = &round;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    done_.assign(n, 0);
-    done_watermark_ = 0;
+  EnsureFlagCapacity(n);
+  for (size_t i = 0; i < n; ++i) {
+    done_[i].store(0, std::memory_order_relaxed);
+    state_[i].store(0, std::memory_order_relaxed);
   }
+  done_scan_ = 0;
+  // The resets publish to workers through mu_ in RunSegment (workers only
+  // enter a segment after acquiring it), so no fence is needed here.
   size_t i = 0;
   while (i < n) {
     if (round[i].shard == kShardSerial) {
@@ -359,31 +394,72 @@ void ParallelExecutor::RunSegment(size_t begin, size_t end) {
   }
   if (end - begin == 1 || one_shard) {
     // Nothing to parallelize: run inline without waking the pool. All
-    // earlier events are complete here, so chain waits are trivially met.
+    // earlier events are complete here, and index order == chain order.
     for (size_t j = begin; j < end; ++j) RunEvent(j);
     return;
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
     next_task_.store(begin, std::memory_order_relaxed);
+    segment_begin_ = begin;
     segment_end_ = end;
     ++segment_gen_;
     segment_active_ = true;
   }
   work_cv_.notify_all();
   // The driving thread participates in the segment.
-  for (;;) {
-    const size_t idx = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (idx >= end) break;
-    RunEvent(idx);
-  }
+  RunTasks(begin, end);
   {
     std::unique_lock<std::mutex> lk(mu_);
     // Wait for completion AND for every worker to leave its task loop: a
     // worker between tasks could otherwise race the next segment's
     // next_task_ reset and grab an index against stale bounds.
-    done_cv_.wait(lk, [&] { return done_watermark_ >= end && busy_workers_ == 0; });
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    done_cv_.wait(lk, [&] {
+      return AllDoneBelowLocked(end) && busy_workers_ == 0;
+    });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
     segment_active_ = false;
+  }
+}
+
+void ParallelExecutor::RunTasks(size_t begin, size_t end) {
+  for (;;) {
+    const size_t idx = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= end) return;
+    RunTask(idx, begin, end);
+  }
+}
+
+void ParallelExecutor::RunTask(size_t idx, size_t begin, size_t end) {
+  const int prev = (*round_)[idx].prev_same_shard;
+  if (prev >= static_cast<int>(begin) &&
+      done_[prev].load(std::memory_order_seq_cst) == 0) {
+    // The chain predecessor is (or just was) still running. Hand the event
+    // off instead of blocking: if our exchange runs first, the
+    // predecessor's runner sees the mark and continues the chain into this
+    // event; if it runs second, the predecessor has retired and we own it.
+    if (state_[idx].exchange(kStateClaimerPassed, std::memory_order_seq_cst) !=
+        kStatePrevDone) {
+      return;
+    }
+  }
+  RunChainFrom(idx, end);
+}
+
+void ParallelExecutor::RunChainFrom(size_t idx, size_t end) {
+  for (;;) {
+    RunEvent(idx);
+    const int next = (*round_)[idx].next_same_shard;
+    if (next < 0 || static_cast<size_t>(next) >= end) return;
+    // Mirror of RunTask's handoff: if the successor's claimer already
+    // renounced it, keep the chain; otherwise the claimer (who has not
+    // arrived yet) will see our done flag and run it.
+    if (state_[next].exchange(kStatePrevDone, std::memory_order_seq_cst) !=
+        kStateClaimerPassed) {
+      return;
+    }
+    idx = static_cast<size_t>(next);
   }
 }
 
@@ -406,14 +482,11 @@ void ParallelExecutor::WorkerLoop() {
       continue;
     }
     seen_gen = segment_gen_;
+    const size_t begin = segment_begin_;
     const size_t end = segment_end_;
     ++busy_workers_;
     lk.unlock();
-    for (;;) {
-      const size_t idx = next_task_.fetch_add(1, std::memory_order_relaxed);
-      if (idx >= end) break;
-      RunEvent(idx);
-    }
+    RunTasks(begin, end);
     lk.lock();
     --busy_workers_;
     if (busy_workers_ == 0) done_cv_.notify_all();
@@ -421,9 +494,10 @@ void ParallelExecutor::WorkerLoop() {
 }
 
 void ParallelExecutor::RunEvent(size_t idx) {
+  // Chain order is enforced by the claim/handoff protocol (RunTask /
+  // RunChainFrom): whoever reaches here owns the event and its same-shard
+  // predecessor has completed.
   TickEvent& ev = (*round_)[idx];
-  // Per-shard chain: one shard's events execute strictly in sequence order.
-  if (ev.prev_same_shard >= 0) WaitEventDone(static_cast<size_t>(ev.prev_same_shard));
   TickContext saved = tls_ctx;
   tls_ctx = TickContext{this, sim_, idx, nullptr, sim_->now_};
   ev.cb();
@@ -431,25 +505,41 @@ void ParallelExecutor::RunEvent(size_t idx) {
   MarkDone(idx);
 }
 
-void ParallelExecutor::WaitEventDone(size_t idx) {
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return done_[idx] != 0; });
+bool ParallelExecutor::AllDoneBelowLocked(size_t idx) {
+  while (done_scan_ < idx &&
+         done_[done_scan_].load(std::memory_order_seq_cst) != 0) {
+    ++done_scan_;
+  }
+  return done_scan_ >= idx;
 }
 
 void ParallelExecutor::WaitAllDoneBelow(size_t idx) {
   std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return done_watermark_ >= idx; });
+  if (AllDoneBelowLocked(idx)) return;
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  done_cv_.wait(lk, [&] { return AllDoneBelowLocked(idx); });
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void ParallelExecutor::MarkDone(size_t idx) {
-  {
+  // Lock-free fast path. The seq_cst store/load pair against
+  // WaitAllDoneBelow's registered-then-recheck sequence guarantees either we
+  // see the waiter (and notify under the lock), or the waiter's predicate
+  // re-check sees our flag before it sleeps.
+  done_[idx].store(1, std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_seq_cst) > 0) {
     std::lock_guard<std::mutex> lk(mu_);
-    done_[idx] = 1;
-    while (done_watermark_ < done_.size() && done_[done_watermark_] != 0) {
-      ++done_watermark_;
-    }
+    done_cv_.notify_all();
   }
-  done_cv_.notify_all();
+}
+
+void ParallelExecutor::EnsureFlagCapacity(size_t n) {
+  if (n <= flags_cap_) return;
+  size_t cap = flags_cap_ == 0 ? 256 : flags_cap_;
+  while (cap < n) cap *= 2;
+  done_ = std::make_unique<std::atomic<uint8_t>[]>(cap);
+  state_ = std::make_unique<std::atomic<uint8_t>[]>(cap);
+  flags_cap_ = cap;
 }
 
 void ParallelExecutor::SyncShared() {

@@ -135,6 +135,7 @@ class ParallelExecutor {
     ShardId shard = kShardSerial;
     Simulator::Callback cb;
     int prev_same_shard = -1;  // chain predecessor within the round, or -1
+    int next_same_shard = -1;  // chain successor within the round, or -1
     std::vector<StagedEvent> staged;
   };
 
@@ -178,9 +179,11 @@ class ParallelExecutor {
   /// Claims and runs window events until none remain (lock held at entry
   /// and exit; released around each callback).
   void WindowLoopLocked(std::unique_lock<std::mutex>& lk);
-  /// Retires a finished event: unlinks it, promotes its shard successor to
-  /// the ready set, and wakes the waiters that can now make progress.
-  void CompleteWindowEventLocked(WindowEvent* ev);
+  /// Retires a finished event: unlinks it, promotes its shard successor, and
+  /// wakes the waiters that can now make progress. Returns the successor
+  /// when the caller should run it directly (it is exactly what a minimum
+  /// claim would pick next), else nullptr.
+  WindowEvent* CompleteWindowEventLocked(WindowEvent* ev);
   void RunWindowEvent(WindowEvent* ev);
   /// Called from a window event's callback (any worker): routes a
   /// scheduling request to an inline window event or to the staged list.
@@ -195,10 +198,23 @@ class ParallelExecutor {
   void RunRound(std::vector<TickEvent>& round);
   /// Runs events [begin, end) — all non-barrier — on the pool + this thread.
   void RunSegment(size_t begin, size_t end);
+  /// Claims indices off next_task_ and dispatches them until the segment is
+  /// exhausted (the per-thread task loop; lock-free steady state).
+  void RunTasks(size_t begin, size_t end);
+  /// Handles one claimed index: runs it (continuing its shard chain), or
+  /// hands it off to the predecessor's runner via the state_ exchange.
+  void RunTask(size_t idx, size_t begin, size_t end);
+  /// Runs `idx` and then its same-shard successors for as long as the
+  /// handoff exchange says their claimers renounced them (chain batching).
+  void RunChainFrom(size_t idx, size_t end);
   void RunEvent(size_t idx);
-  void WaitEventDone(size_t idx);
   void WaitAllDoneBelow(size_t idx);
+  /// Advances the done_scan_ prefix cursor; true when all events below idx
+  /// are complete. Caller holds mu_.
+  bool AllDoneBelowLocked(size_t idx);
   void MarkDone(size_t idx);
+  /// Grows the done_/state_ flag arrays to hold n events.
+  void EnsureFlagCapacity(size_t n);
   void WorkerLoop();
   /// Serial tail used when a round would cross the event cap: re-queues the
   /// round and steps one event at a time exactly like the serial path.
@@ -210,15 +226,23 @@ class ParallelExecutor {
   // per-tick hot path does not reallocate.
   std::unordered_map<ShardId, int> last_of_shard_;
 
-  // Round state (valid while RunRound is active).
+  // Round state (valid while RunRound is active). The steady-state tick path
+  // is lock-free: claims come off next_task_, completion is a done_ flag
+  // store, and chain handoffs go through state_ exchanges; mu_ is only taken
+  // by threads that actually have to wait (SyncShared, barriers, segment
+  // teardown), guarded by the waiters_ Dekker counter.
   std::vector<TickEvent>* round_ = nullptr;
   std::atomic<size_t> next_task_{0};
+  size_t segment_begin_ = 0;
   size_t segment_end_ = 0;
   uint64_t segment_gen_ = 0;
   bool segment_active_ = false;
-  std::vector<uint8_t> done_;
-  size_t done_watermark_ = 0;  // all events with idx < watermark completed
-  size_t busy_workers_ = 0;    // workers inside a segment's task loop
+  std::unique_ptr<std::atomic<uint8_t>[]> done_;   // per-event completion
+  std::unique_ptr<std::atomic<uint8_t>[]> state_;  // per-event handoff state
+  size_t flags_cap_ = 0;
+  size_t done_scan_ = 0;        // prefix cursor: all < done_scan_ complete (mu_)
+  std::atomic<int> waiters_{0};  // threads blocked on done_cv_ (Dekker flag)
+  size_t busy_workers_ = 0;      // workers inside a segment/window loop
 
   // Window state (valid while RunWindow is active). Incomplete events are
   // indexed three ways, all in serial-order keys: globally (SyncShared's

@@ -16,11 +16,11 @@ SimTime Simulator::NowInExecutor() const {
   return ParallelExecutor::EffectiveNow(this, now_);
 }
 
-void Simulator::At(SimTime t, Callback cb) {
-  AtShard(t, ParallelExecutor::InheritedShard(), std::move(cb));
+void Simulator::AtExec(SimTime t, Callback cb) {
+  AtShardExec(t, ParallelExecutor::InheritedShard(), std::move(cb));
 }
 
-void Simulator::AtShard(SimTime t, ShardId shard, Callback cb) {
+void Simulator::AtShardExec(SimTime t, ShardId shard, Callback cb) {
   // Clamp to the *executing event's* time (== now_ on the serial and tick
   // paths), so a window event never schedules into its own past.
   const SimTime now = Now();
@@ -61,19 +61,21 @@ void Simulator::SyncShared() {
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
+  EventHandle h;
+  if (!queue_.Peek(&h)) return false;
   if (events_processed_ >= event_cap_) {
     cap_hit_ = true;
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  HS1_CHECK_GE(ev.time, now_);
-  now_ = ev.time;
+  queue_.Pop();
+  HS1_CHECK_GE(h.time, now_);
+  now_ = h.time;
   ++events_processed_;
-  ev.cb();
+  // Run in the arena slot — no move-out. Nested scheduling may grow the
+  // arena, but chunks have stable addresses, so the record stays put.
+  EventRecord& rec = arena_.Get(h.idx);
+  rec.cb();
+  arena_.Free(h.idx);
   return true;
 }
 
@@ -81,7 +83,8 @@ void Simulator::RunUntil(SimTime t) {
   if (exec_) {
     exec_->Drain(t);
   } else {
-    while (!queue_.empty() && queue_.top().time <= t) {
+    EventHandle h;
+    while (queue_.Peek(&h) && h.time <= t) {
       if (events_processed_ >= event_cap_) {
         cap_hit_ = true;
         break;

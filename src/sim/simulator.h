@@ -11,31 +11,24 @@
 // concurrently — callers must guarantee that no event ever schedules onto a
 // *different* shard less than W ahead of its own timestamp (the experiment
 // layer derives W from the network's minimum cross-node delivery latency).
+//
+// Hot-path storage: pending events live as flat records in an EventArena
+// and are ordered by a calendar queue (event_queue.h); callbacks are
+// InlineFn (48-byte small-buffer storage). Scheduling and executing an
+// event allocates nothing once the arena and queue have warmed up —
+// tests/event_alloc_test.cc pins that property.
 
 #ifndef HOTSTUFF1_SIM_SIMULATOR_H_
 #define HOTSTUFF1_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_queue.h"
 
 namespace hotstuff1::sim {
-
-/// Shard affinity of an event. Components partition their per-node state by
-/// shard: an event tagged with shard S may mutate only state owned by S (plus
-/// gated shared domains — see Simulator::SyncShared). The parallel executor
-/// runs one shard's events strictly in sequence order and different shards
-/// concurrently; in single-threaded runs the tag is ignored.
-using ShardId = uint32_t;
-
-/// Events with no declared affinity. Under a parallel executor these act as
-/// full barriers (everything before completes first, nothing after starts
-/// until they finish), so untagged events are always safe — just slow.
-inline constexpr ShardId kShardSerial = 0xffffffffu;
 
 class ParallelExecutor;
 
@@ -55,7 +48,9 @@ class ParallelExecutor;
 /// any other source that varies across runs.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduled work. Move-only; captures up to 48 bytes stay heap-free
+  /// (std::function's 16-byte buffer made every network delivery allocate).
+  using Callback = InlineFn;
 
   Simulator();
   ~Simulator();
@@ -72,13 +67,29 @@ class Simulator {
   /// Schedules `cb` at absolute virtual time `t` (clamped to now). The event
   /// inherits the shard of the event currently executing (a replica's
   /// self-scheduled continuation stays on the replica's shard); scheduled
-  /// from outside any event it is kShardSerial.
-  void At(SimTime t, Callback cb);
+  /// from outside any event it is kShardSerial. Without an executor no event
+  /// context exists, so the inherited shard is always kShardSerial — the
+  /// serial fast path below skips the executor's thread-local lookup.
+  void At(SimTime t, Callback cb) {
+    if (exec_ == nullptr) {
+      if (t < now_) t = now_;
+      PushEvent(t, kShardSerial, std::move(cb));
+      return;
+    }
+    AtExec(t, std::move(cb));
+  }
 
   /// Schedules `cb` at `t` with an explicit shard affinity. Use this when the
   /// event belongs to a different shard than the caller (e.g. the network
   /// tags a delivery with the destination node).
-  void AtShard(SimTime t, ShardId shard, Callback cb);
+  void AtShard(SimTime t, ShardId shard, Callback cb) {
+    if (exec_ == nullptr) {
+      if (t < now_) t = now_;
+      PushEvent(t, shard, std::move(cb));
+      return;
+    }
+    AtShardExec(t, shard, std::move(cb));
+  }
 
   /// Schedules `cb` after `delay` from now (shard-inheriting, like At).
   void After(SimTime delay, Callback cb) { At(Now() + delay, std::move(cb)); }
@@ -136,30 +147,51 @@ class Simulator {
  private:
   friend class ParallelExecutor;
 
+  /// A popped event, fully owned (executor hand-off shape; the serial loop
+  /// never materializes one — it runs callbacks in the arena slot).
   struct Event {
     SimTime time;
     uint64_t seq;
     ShardId shard;
     Callback cb;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
   /// Slow path of Now(): consults the executor's thread-local event context.
   SimTime NowInExecutor() const;
 
-  /// Pushes with a fresh sequence number (no clamp, no staging).
-  void PushEvent(SimTime t, ShardId shard, Callback cb) {
-    queue_.push(Event{t, next_seq_++, shard, std::move(cb)});
+  /// Executor-mode scheduling: shard inheritance, per-event time clamp, and
+  /// staging during parallel ticks/windows.
+  void AtExec(SimTime t, Callback cb);
+  void AtShardExec(SimTime t, ShardId shard, Callback cb);
+
+  /// Pushes with a fresh sequence number (no clamp, no staging). Takes the
+  /// callback by rvalue reference so the whole scheduling path performs a
+  /// single relocation: call site -> arena record.
+  void PushEvent(SimTime t, ShardId shard, Callback&& cb) {
+    queue_.Push(t, next_seq_++, arena_.Alloc(shard, std::move(cb)));
   }
   /// Re-inserts an event that was popped but not executed (cap fallback).
-  void RepushEvent(Event ev) { queue_.push(std::move(ev)); }
+  /// Keeps the original sequence number.
+  void RepushEvent(Event ev) {
+    queue_.Push(ev.time, ev.seq, arena_.Alloc(ev.shard, std::move(ev.cb)));
+  }
+  /// Pops the front event out of the queue + arena (executor paths).
+  Event PopEvent() {
+    const EventHandle h = queue_.Pop();
+    EventRecord& rec = arena_.Get(h.idx);
+    Event ev{h.time, h.seq, rec.shard, std::move(rec.cb)};
+    arena_.Free(h.idx);
+    return ev;
+  }
+  /// Key + shard of the front event without popping; false when empty.
+  bool PeekEvent(EventHandle* h, ShardId* shard) {
+    if (!queue_.Peek(h)) return false;
+    *shard = arena_.Get(h->idx).shard;
+    return true;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventArena arena_;
+  EventQueue queue_;
   SimTime now_ = 0;
   SimTime lookahead_ = 0;
   uint64_t next_seq_ = 0;

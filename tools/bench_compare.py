@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two hs1-bench-v1 ledgers (see bench/scenarios/throughput.cc).
+
+Two kinds of checks, with different teeth:
+
+  * Data-shape checks are HARD errors (exit 2): schema tag, scenario,
+    mode, workload set, and per-workload event counts must match exactly.
+    Event counts are deterministic — a drift means the simulation changed
+    behavior, not that the machine was slow.
+  * Throughput checks flag events/s regressions beyond a threshold
+    (default 10%). By default these are warnings (exit 0) because shared
+    CI runners are noisy; --strict turns them into failures (exit 1).
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+        [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hs1-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    for key in ("scenario", "mode", "rows"):
+        if key not in doc:
+            sys.exit(f"error: {path}: missing key {key!r}")
+    for row in doc["rows"]:
+        for key in ("name", "events", "wall_ms", "events_per_sec"):
+            if key not in row:
+                sys.exit(f"error: {path}: row missing key {key!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="events/s drop flagged as a regression (fraction, default 0.10)",
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on throughput regressions (default: warn only)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    shape_errors = []
+    for key in ("scenario", "mode"):
+        if base[key] != cand[key]:
+            shape_errors.append(
+                f"{key}: baseline={base[key]!r} candidate={cand[key]!r}"
+            )
+
+    base_rows = {r["name"]: r for r in base["rows"]}
+    cand_rows = {r["name"]: r for r in cand["rows"]}
+    if list(base_rows) != list(cand_rows):
+        shape_errors.append(
+            f"workload set: baseline={list(base_rows)} candidate={list(cand_rows)}"
+        )
+    else:
+        for name, b in base_rows.items():
+            c = cand_rows[name]
+            if b["events"] != c["events"]:
+                shape_errors.append(
+                    f"{name}: event count {b['events']} -> {c['events']} "
+                    "(deterministic count drifted: behavior change, not noise)"
+                )
+
+    if shape_errors:
+        print("bench_compare: DATA-SHAPE MISMATCH (hard error)")
+        for e in shape_errors:
+            print(f"  {e}")
+        return 2
+
+    regressions = []
+    print(f"{'workload':<22} {'baseline ev/s':>14} {'candidate ev/s':>14} {'delta':>8}")
+    for name, b in base_rows.items():
+        c = cand_rows[name]
+        delta = (c["events_per_sec"] - b["events_per_sec"]) / b["events_per_sec"]
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        print(
+            f"{name:<22} {b['events_per_sec']:>14.0f} "
+            f"{c['events_per_sec']:>14.0f} {delta:>+7.1%}{marker}"
+        )
+
+    if regressions:
+        pct = args.threshold * 100
+        print(
+            f"bench_compare: {len(regressions)} workload(s) regressed "
+            f"more than {pct:.0f}%: {', '.join(regressions)}"
+        )
+        return 1 if args.strict else 0
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

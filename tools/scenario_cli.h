@@ -63,9 +63,9 @@ inline int ListScenarios() {
   return 0;
 }
 
-/// Parses --jobs / --sim-jobs / --smoke / --format. Returns false after
-/// printing the problem to stderr; callers turn that into flag-error exit
-/// code 2.
+/// Parses --jobs / --sim-jobs / --smoke / --format / --repeat / --bench-json.
+/// Returns false after printing the problem to stderr; callers turn that
+/// into flag-error exit code 2.
 inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* options) {
   const unsigned hw = std::thread::hardware_concurrency();
   options->jobs = static_cast<int>(flags.GetInt("jobs", hw > 0 ? hw : 1));
@@ -87,6 +87,8 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
   }
   options->oracle = flags.GetBool("oracle", false);
   options->smoke = flags.GetBool("smoke", false);
+  options->repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  options->bench_json = flags.GetString("bench-json", "");
   const std::string format = flags.GetString("format", "table");
   if (!ParseReportFormat(format, &options->format)) {
     std::fprintf(stderr, "unknown --format '%s' (want table|csv|json)\n",
@@ -99,6 +101,10 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
   }
   if (has_sim_jobs && options->sim_jobs < 1) {
     std::fprintf(stderr, "--sim-jobs must be >= 1\n");
+    return false;
+  }
+  if (options->repeat < 1) {
+    std::fprintf(stderr, "--repeat must be >= 1\n");
     return false;
   }
   return true;
