@@ -37,6 +37,12 @@ void PrintUsage(std::FILE* out) {
   --oracle                   arm the online invariant oracle on every point
                              (pure observer; violations fail the run with a
                              config+seed diagnostic)
+  --arrival=<kind>           force a traffic model onto every point
+                             (closed|poisson|bursty|diurnal|flash; respected
+                             only when the scenario does not sweep it)
+  --offered-load=<txn/s>     force the open-loop aggregate arrival rate
+  --client-groups=G          force the client-pool shard count (output is
+                             byte-identical at any value)
   --smoke                    CI-sized points (short windows, axis endpoints)
   --repeat=K                 rerun the scenario K times and report median
                              wall-clock metrics (deterministic output is

@@ -59,6 +59,15 @@ class LatencyRecorder {
 
   void Clear() { samples_.clear(); }
 
+  const std::vector<SimTime>& samples() const { return samples_; }
+
+  /// Concatenates another recorder's samples (used to merge per-shard
+  /// recorders; concatenation order must be deterministic for in-order
+  /// statistics like AvgMs to be executor-independent).
+  void Append(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
  private:
   std::vector<SimTime> samples_;
 };

@@ -70,6 +70,13 @@ std::string DescribeConfig(const ExperimentConfig& config) {
   out += " victims=" + std::to_string(config.rollback_victims);
   out += " bw=" +
          std::to_string(static_cast<long long>(config.bandwidth_bytes_per_us));
+  out += " groups=" + std::to_string(config.client_groups);
+  out += " arrival=";
+  out += ArrivalKindName(config.arrival.kind);
+  if (config.arrival.kind != ArrivalKind::kClosedLoop) {
+    out += " load=" + std::to_string(
+                          static_cast<long long>(config.arrival.offered_load_tps));
+  }
   return out;
 }
 
@@ -147,8 +154,14 @@ void Experiment::Setup() {
     client_lat[n - 1 - i] += config_.inject_delay;
   }
   ClientPoolConfig cp;
-  cp.num_clients =
-      config_.num_clients > 0 ? config_.num_clients : 8 * config_.batch_size;
+  // Open loop defaults to a million-strong population: client records are
+  // lazy, so the figure is a label space, not a memory commitment.
+  const uint32_t default_clients =
+      config_.arrival.kind == ArrivalKind::kClosedLoop ? 8 * config_.batch_size
+                                                       : 1'000'000;
+  cp.num_clients = config_.num_clients > 0 ? config_.num_clients : default_clients;
+  cp.groups = config_.client_groups;
+  cp.arrival = config_.arrival;
   const uint32_t f = (n - 1) / 3;
   cp.quorum_commit = f + 1;
   cp.quorum_speculative =
@@ -240,9 +253,12 @@ ExperimentResult Experiment::Run() {
   res.resubmissions = clients_->resubmissions();
   res.throughput_tps =
       static_cast<double>(res.accepted) / ToSeconds(config_.duration);
-  res.avg_latency_ms = clients_->latencies().AvgMs();
-  res.p50_latency_ms = clients_->latencies().PercentileMs(0.50);
-  res.p99_latency_ms = clients_->latencies().PercentileMs(0.99);
+  const LatencyRecorder lat = clients_->latencies();
+  res.avg_latency_ms = lat.AvgMs();
+  res.p50_latency_ms = lat.PercentileMs(0.50);
+  res.p99_latency_ms = lat.PercentileMs(0.99);
+  res.p999_latency_ms = lat.PercentileMs(0.999);
+  res.backlog = clients_->backlog();
   res.committed_blocks = replicas_[0]->metrics().blocks_committed;
   res.committed_txns = replicas_[0]->metrics().txns_committed - committed_before;
   res.views = replicas_[0]->metrics().views_entered - views_before;
@@ -307,6 +323,7 @@ ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
   result.avg_latency_ms = lat.avg_latency_ms;
   result.p50_latency_ms = lat.p50_latency_ms;
   result.p99_latency_ms = lat.p99_latency_ms;
+  result.p999_latency_ms = lat.p999_latency_ms;
   result.safety_ok = result.safety_ok && lat.safety_ok;
   result.event_cap_hit = result.event_cap_hit || lat.event_cap_hit;
   result.oracle_violations += lat.oracle_violations;

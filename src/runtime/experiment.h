@@ -77,7 +77,12 @@ struct ExperimentConfig {
   WorkloadKind workload = WorkloadKind::kYcsb;
   YcsbConfig ycsb;
   TpccConfig tpcc;
-  uint32_t num_clients = 0;  // 0 -> 8 * batch_size
+  uint32_t num_clients = 0;  // 0 -> 8 * batch_size (closed loop) / 1M (open)
+  // Client-group shard count for the pool (--client-groups); 1 reproduces
+  // the historical single-shard pool byte-for-byte.
+  uint32_t client_groups = 1;
+  // Traffic model (--arrival / --offered-load); closed loop by default.
+  ArrivalConfig arrival;
   uint64_t seed = 1;
 
   // Faults (Fig. 10).
@@ -134,9 +139,13 @@ struct ExperimentResult {
   double avg_latency_ms = 0;
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
+  double p999_latency_ms = 0;
   uint64_t accepted = 0;
   uint64_t accepted_speculative = 0;
   uint64_t resubmissions = 0;
+  // Transactions still waiting in the submission queue at the end of the
+  // run. Grows without bound past the saturation knee in open-loop runs.
+  uint64_t backlog = 0;
   uint64_t committed_blocks = 0;  // at observer replica 0
   uint64_t committed_txns = 0;
   uint64_t views = 0;             // views entered at observer

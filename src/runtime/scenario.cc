@@ -31,6 +31,12 @@ MetricSpec P99LatencyMetric() {
           [](double v) { return FormatMs(v); }};
 }
 
+MetricSpec P999LatencyMetric() {
+  return {"p999_latency_ms",
+          [](const ExperimentResult& r) { return r.p999_latency_ms; },
+          [](double v) { return FormatMs(v); }};
+}
+
 MetricSpec CountMetric(std::string name,
                        std::function<double(const ExperimentResult&)> value) {
   return {std::move(name), std::move(value),

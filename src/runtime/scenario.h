@@ -49,6 +49,7 @@ MetricSpec ThroughputMetric();
 MetricSpec AvgLatencyMetric();
 MetricSpec P50LatencyMetric();
 MetricSpec P99LatencyMetric();
+MetricSpec P999LatencyMetric();
 MetricSpec CountMetric(std::string name,
                        std::function<double(const ExperimentResult&)> value);
 /// Real milliseconds spent executing the point. The one inherently

@@ -79,6 +79,40 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
       for (SweepPoint& p : outcome.points) p.config.lookahead = lookahead_;
     }
   }
+  if (has_arrival_) {
+    // fig_saturation sweeps the arrival process as its table axis.
+    const bool axis_sweeps_arrival =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.arrival.kind != spec.base.arrival.kind;
+                    });
+    if (!axis_sweeps_arrival) {
+      for (SweepPoint& p : outcome.points) p.config.arrival.kind = arrival_;
+    }
+  }
+  if (has_offered_load_) {
+    // fig_saturation sweeps the offered load as its row axis.
+    const bool axis_sweeps_load = std::any_of(
+        outcome.points.begin(), outcome.points.end(), [&](const SweepPoint& p) {
+          return p.config.arrival.offered_load_tps !=
+                 spec.base.arrival.offered_load_tps;
+        });
+    if (!axis_sweeps_load) {
+      for (SweepPoint& p : outcome.points) {
+        p.config.arrival.offered_load_tps = offered_load_;
+      }
+    }
+  }
+  if (client_groups_ > 0) {
+    const bool axis_sweeps_groups =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.client_groups != spec.base.client_groups;
+                    });
+    if (!axis_sweeps_groups) {
+      for (SweepPoint& p : outcome.points) p.config.client_groups = client_groups_;
+    }
+  }
   if (force_oracle_) {
     for (SweepPoint& p : outcome.points) p.config.oracle_enabled = true;
   }
@@ -146,6 +180,7 @@ std::vector<DiagColumn> DiagColumns(const std::vector<MetricSpec>& metrics) {
       {"timeouts", [](const ExperimentResult& r) { return std::to_string(r.timeouts); }},
       {"resubmissions",
        [](const ExperimentResult& r) { return std::to_string(r.resubmissions); }},
+      {"backlog", [](const ExperimentResult& r) { return std::to_string(r.backlog); }},
       {"rollback_events",
        [](const ExperimentResult& r) { return std::to_string(r.rollback_events); }},
       {"safety_ok", [](const ExperimentResult& r) { return r.safety_ok ? "1" : "0"; }},
@@ -303,6 +338,9 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   SweepRunner runner(options.jobs, options.sim_jobs);
   if (options.has_lookahead) runner.OverrideLookahead(options.lookahead);
   if (options.oracle) runner.ForceOracle();
+  if (options.has_arrival) runner.ForceArrival(options.arrival);
+  if (options.has_offered_load) runner.ForceOfferedLoad(options.offered_load);
+  if (options.client_groups > 0) runner.ForceClientGroups(options.client_groups);
   SweepOutcome outcome = runner.Run(spec, options.smoke);
   if (options.repeat > 1) {
     // Rerun and keep the per-point *median* wall-clock time. Every

@@ -30,6 +30,14 @@ struct ScenarioRunOptions {
   // scenario sweeps lookahead as an axis.
   bool has_lookahead = false;
   LookaheadSpec lookahead;
+  // Traffic-model overrides (--arrival / --offered-load / --client-groups);
+  // applied to every point unless the scenario sweeps that field as an axis
+  // (the same respect-the-axis rule as sim_jobs / lookahead).
+  bool has_arrival = false;
+  ArrivalKind arrival = ArrivalKind::kClosedLoop;
+  bool has_offered_load = false;
+  double offered_load = 0;
+  uint32_t client_groups = 0;  // 0 keeps each point's configured value
   // Arms the online invariant oracle on every point (--oracle). Scenarios
   // that enable it in their base config (fuzz) run with it regardless.
   bool oracle = false;
@@ -94,6 +102,26 @@ class SweepRunner {
     return *this;
   }
 
+  /// Forces an arrival process onto every point (respect-the-axis rule).
+  SweepRunner& ForceArrival(ArrivalKind kind) {
+    arrival_ = kind;
+    has_arrival_ = true;
+    return *this;
+  }
+
+  /// Forces an aggregate offered load (txn/s) onto every point.
+  SweepRunner& ForceOfferedLoad(double tps) {
+    offered_load_ = tps;
+    has_offered_load_ = true;
+    return *this;
+  }
+
+  /// Forces the client-group shard count onto every point (0 = keep).
+  SweepRunner& ForceClientGroups(uint32_t groups) {
+    client_groups_ = groups;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
@@ -103,6 +131,11 @@ class SweepRunner {
   bool has_lookahead_ = false;
   bool force_oracle_ = false;
   LookaheadSpec lookahead_;
+  bool has_arrival_ = false;
+  ArrivalKind arrival_ = ArrivalKind::kClosedLoop;
+  bool has_offered_load_ = false;
+  double offered_load_ = 0;
+  uint32_t client_groups_ = 0;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

@@ -1,6 +1,7 @@
 // Randomized determinism stress harness: each seed derives an arbitrary
 // ExperimentConfig (committee size — including multi-word quorums past
-// n = 64 — protocol, batch, faults, bandwidth) and the run is repeated at
+// n = 64 — protocol, batch, faults, bandwidth, client-group shard counts,
+// open-loop arrival processes) and the run is repeated at
 // {1, 4} sim_jobs x {off, auto} lookahead. Every deterministic result field
 // must be identical, so parallel-executor regressions surface from plain
 // `ctest` instead of hand-written reproduction scripts; a failure names the
@@ -49,6 +50,25 @@ ExperimentConfig ConfigFromSeed(uint64_t seed) {
   }
 
   cfg.bandwidth_bytes_per_us = rng.NextBool(0.5) ? 2000.0 : 200000.0;
+
+  // Client-pool shape: shard count and traffic model. Closed loop is drawn
+  // with double weight (it is the paper-fidelity default and exercises the
+  // acceptance-triggered resubmission path the open loop lacks).
+  cfg.client_groups = 1u << rng.NextBounded(4);  // 1, 2, 4, 8
+  constexpr ArrivalKind kArrivals[] = {
+      ArrivalKind::kClosedLoop, ArrivalKind::kClosedLoop, ArrivalKind::kPoisson,
+      ArrivalKind::kBursty,     ArrivalKind::kDiurnal,    ArrivalKind::kFlashCrowd};
+  cfg.arrival.kind = kArrivals[rng.NextBounded(6)];
+  if (cfg.arrival.kind != ArrivalKind::kClosedLoop) {
+    cfg.arrival.offered_load_tps =
+        20'000.0 * static_cast<double>(1 + rng.NextBounded(4));
+    // Compress the processes' time structure into the 160ms run window so
+    // diurnal modulation and the flash ramp actually happen.
+    cfg.arrival.diurnal_period = Millis(60);
+    cfg.arrival.flash_start = Millis(60);
+    cfg.arrival.flash_rise = Millis(10);
+    cfg.arrival.flash_decay = Millis(30);
+  }
 
   cfg.num_clients = 2 * cfg.batch_size;
   cfg.duration = Millis(120);

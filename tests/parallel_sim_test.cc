@@ -290,6 +290,34 @@ TEST(ParallelExperimentTest, Fig8ScalabilityCsvByteIdentical) {
   EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/8, "400"), baseline);
 }
 
+// Same gate for the open-loop saturation sweep: million-client sharded pools
+// with every arrival process (poisson/bursty/diurnal/flash) must emit
+// byte-identical CSV under any executor shape. This is where the per-group
+// RNG streams, the cross-shard response fan-out, and the SyncShared-gated
+// submission queue all meet the lookahead window at once.
+TEST(ParallelExperimentTest, FigSaturationCsvByteIdentical) {
+  const ScenarioSpec* spec = ScenarioRegistry::Instance().Find("fig_saturation");
+  ASSERT_NE(spec, nullptr);
+
+  auto run_csv = [&](int jobs, int sim_jobs, const char* lookahead) {
+    SweepRunner runner(jobs, sim_jobs);
+    LookaheadSpec spec_la;
+    EXPECT_TRUE(ParseLookahead(lookahead, &spec_la)) << lookahead;
+    runner.OverrideLookahead(spec_la);
+    const SweepOutcome outcome = runner.Run(*spec, /*smoke=*/true);
+    std::ostringstream os;
+    EmitCsv(outcome, os);
+    return os.str();
+  };
+  const std::string baseline = run_csv(/*jobs=*/1, /*sim_jobs=*/1, "off");
+  EXPECT_FALSE(baseline.empty());
+  // The smoke grid keeps the endpoint arrival processes; both must be there.
+  EXPECT_NE(baseline.find("poisson"), std::string::npos);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/4, "off"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/1, /*sim_jobs=*/4, "auto"), baseline);
+  EXPECT_EQ(run_csv(/*jobs=*/2, /*sim_jobs=*/8, "auto"), baseline);
+}
+
 // par_speedup sweeps sim_jobs and lookahead itself: its machine-readable
 // output must be byte-identical across repeated runs (wall_ms is table-only)
 // and across CLI overrides (which the axis-respect rule ignores).

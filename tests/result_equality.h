@@ -22,6 +22,8 @@ inline void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& 
   EXPECT_DOUBLE_EQ(a.avg_latency_ms, b.avg_latency_ms);
   EXPECT_DOUBLE_EQ(a.p50_latency_ms, b.p50_latency_ms);
   EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p999_latency_ms, b.p999_latency_ms);
+  EXPECT_EQ(a.backlog, b.backlog);
   EXPECT_EQ(a.committed_blocks, b.committed_blocks);
   EXPECT_EQ(a.committed_txns, b.committed_txns);
   EXPECT_EQ(a.views, b.views);

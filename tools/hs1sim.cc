@@ -36,7 +36,12 @@ void PrintUsage(std::FILE* out) {
   --faulty=<count>              (default 0)
   --victims=<rollback victims>  (default f)
   --inject_delay_ms=<ms> --impaired=<k>   Fig. 9 style delay injection
-  --clients=<count>             (default 8*batch)
+  --clients=<count>             (default 8*batch closed loop; 1M open loop)
+  --client-groups=<G>           client-pool shards (default 1; byte-identical
+                                results at any value)
+  --arrival=closed|poisson|bursty|diurnal|flash   traffic model (default
+                                closed = one outstanding txn per client)
+  --offered-load=<txn/s>        open-loop aggregate arrival rate (default 50000)
   --max_slots=<k>               slotted: cap slots/view (0 = adaptive)
   --no_speculation              disable speculative responses
   --no_trusted_leader           disable the §6.3 fast path
@@ -56,7 +61,8 @@ Registered scenarios (the hs1bench sweep engine):
   --list                        enumerate registered scenarios with their axes
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
-  (--sim-jobs / --lookahead / --oracle apply to scenario points too)
+  (--sim-jobs / --lookahead / --oracle / --arrival / --offered-load /
+   --client-groups apply to scenario points too)
 )");
 }
 
@@ -112,6 +118,25 @@ int RunMain(int argc, char** argv) {
   cfg.delta = Millis(flags.GetDouble("delta_ms", 1));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.num_clients = static_cast<uint32_t>(flags.GetInt("clients", 0));
+  const int64_t client_groups = flags.GetInt("client-groups", 1);
+  if (client_groups < 1 || client_groups > kMaxClientGroups) {
+    std::fprintf(stderr, "--client-groups must be in [1, %u]\n", kMaxClientGroups);
+    return Usage();
+  }
+  cfg.client_groups = static_cast<uint32_t>(client_groups);
+  if (flags.Has("arrival") &&
+      !ParseArrivalKind(flags.GetString("arrival", ""), &cfg.arrival.kind)) {
+    std::fprintf(stderr,
+                 "bad --arrival '%s' (want closed|poisson|bursty|diurnal|flash)\n",
+                 flags.GetString("arrival", "").c_str());
+    return Usage();
+  }
+  cfg.arrival.offered_load_tps =
+      flags.GetDouble("offered-load", cfg.arrival.offered_load_tps);
+  if (cfg.arrival.offered_load_tps <= 0) {
+    std::fprintf(stderr, "--offered-load must be a positive txn/s rate\n");
+    return Usage();
+  }
   cfg.max_slots = static_cast<uint32_t>(flags.GetInt("max_slots", 0));
   cfg.speculation_enabled = !flags.GetBool("no_speculation", false);
   cfg.trusted_leader_enabled = !flags.GetBool("no_trusted_leader", false);
@@ -165,18 +190,19 @@ int RunMain(int argc, char** argv) {
   // Machine-friendly line first.
   std::printf(
       "RESULT protocol=\"%s\" n=%u batch=%u tput_tps=%.0f lat_avg_ms=%.3f "
-      "lat_p50_ms=%.3f lat_p99_ms=%.3f accepted=%llu spec=%llu views=%llu "
-      "slots=%llu timeouts=%llu rollbacks=%llu resub=%llu safety=%d cap_hit=%d "
-      "oracle_violations=%llu\n",
+      "lat_p50_ms=%.3f lat_p99_ms=%.3f lat_p999_ms=%.3f accepted=%llu spec=%llu "
+      "views=%llu slots=%llu timeouts=%llu rollbacks=%llu resub=%llu "
+      "backlog=%llu safety=%d cap_hit=%d oracle_violations=%llu\n",
       res.protocol.c_str(), cfg.n, cfg.batch_size, res.throughput_tps,
       res.avg_latency_ms, res.p50_latency_ms, res.p99_latency_ms,
-      static_cast<unsigned long long>(res.accepted),
+      res.p999_latency_ms, static_cast<unsigned long long>(res.accepted),
       static_cast<unsigned long long>(res.accepted_speculative),
       static_cast<unsigned long long>(res.views),
       static_cast<unsigned long long>(res.slots),
       static_cast<unsigned long long>(res.timeouts),
       static_cast<unsigned long long>(res.rollback_events),
-      static_cast<unsigned long long>(res.resubmissions), res.safety_ok ? 1 : 0,
+      static_cast<unsigned long long>(res.resubmissions),
+      static_cast<unsigned long long>(res.backlog), res.safety_ok ? 1 : 0,
       res.event_cap_hit ? 1 : 0,
       static_cast<unsigned long long>(res.oracle_violations));
 

@@ -85,6 +85,29 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
     }
     options->has_lookahead = true;
   }
+  if (flags.Has("arrival")) {
+    if (!ParseArrivalKind(flags.GetString("arrival", ""), &options->arrival)) {
+      std::fprintf(stderr,
+                   "bad --arrival '%s' (want closed|poisson|bursty|diurnal|flash)\n",
+                   flags.GetString("arrival", "").c_str());
+      return false;
+    }
+    options->has_arrival = true;
+  }
+  if (flags.Has("offered-load")) {
+    options->offered_load = flags.GetDouble("offered-load", 0);
+    if (options->offered_load <= 0) {
+      std::fprintf(stderr, "--offered-load must be a positive txn/s rate\n");
+      return false;
+    }
+    options->has_offered_load = true;
+  }
+  options->client_groups =
+      static_cast<uint32_t>(flags.GetInt("client-groups", 0));
+  if (flags.Has("client-groups") && options->client_groups < 1) {
+    std::fprintf(stderr, "--client-groups must be >= 1\n");
+    return false;
+  }
   options->oracle = flags.GetBool("oracle", false);
   options->smoke = flags.GetBool("smoke", false);
   options->repeat = static_cast<int>(flags.GetInt("repeat", 1));
