@@ -43,6 +43,9 @@ void PrintUsage(std::FILE* out) {
   --offered-load=<txn/s>     force the open-loop aggregate arrival rate
   --client-groups=G          force the client-pool shard count (output is
                              byte-identical at any value)
+  --cert-scheme=<scheme>     force the authenticator wire encoding onto every
+                             point (vector|aggregate|threshold; respected
+                             only when the scenario does not sweep it)
   --smoke                    CI-sized points (short windows, axis endpoints)
   --repeat=K                 rerun the scenario K times and report median
                              wall-clock metrics (deterministic output is

@@ -3,7 +3,11 @@
 // per-transaction execution cost (the paper's 0.5us YCSB calibration vs a
 // 10x heavier state machine) x crypto shape ("sym" sweeps sign and verify
 // together, ECDSA-style; "bls" is the asymmetric regime of aggregate
-// schemes: expensive signing, cheap verification). Rows scale the crypto
+// schemes: expensive signing, cheap verification). Each crypto shape also
+// carries its matching authenticator *size* model (crypto/authenticator.h):
+// "sym" ships the §7 multisig vector (O(n) certificate bytes), "bls" the
+// aggregate encoding (O(1) + signer bitmap) — so the time and byte costs of
+// a regime move together, as they do in real systems. Rows scale the crypto
 // base costs by 1x/4x/16x, so each table shows how throughput decays as its
 // crypto regime slows down.
 //
@@ -43,9 +47,13 @@ ScenarioSpec CostModel() {
     const char* label;
     SimTime sign_us;
     SimTime verify_us;
+    CertScheme scheme;
   };
-  // Base (1x) costs per crypto regime; rows multiply both.
-  constexpr Shape kShapes[] = {{"sym", 3, 4}, {"bls", 12, 1}};
+  // Base (1x) costs per crypto regime; rows multiply both. The byte model
+  // rides along: symmetric crypto means vector certificates, BLS-shaped
+  // crypto means aggregate ones.
+  constexpr Shape kShapes[] = {{"sym", 3, 4, CertScheme::kMultisigVector},
+                               {"bls", 12, 1, CertScheme::kAggregate}};
   for (double exec_us : {0.5, 5.0}) {
     for (const Shape shape : kShapes) {
       char label[32];
@@ -54,6 +62,7 @@ ScenarioSpec CostModel() {
                                c.costs.per_txn_exec_us = exec_us;
                                c.costs.sign_us = shape.sign_us;
                                c.costs.verify_us = shape.verify_us;
+                               c.cert_scheme = shape.scheme;
                              }});
     }
   }

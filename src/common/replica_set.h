@@ -2,8 +2,14 @@
 // "a set of replica ids" wherever quorums are counted — client response
 // tallies, leader-side NewView/Wish sender tracking. A plain uint64_t mask
 // caps committees at one machine word (n <= 64) and silently aliases ids via
-// `1ULL << (id % 64)`; ReplicaSet raises the cap to kCapacity and turns any
-// out-of-range id into a hard check instead of a vote for somebody else.
+// `1ULL << (id % 64)`; BasicReplicaSet raises the cap to its Capacity
+// parameter and turns any out-of-range id into a hard check instead of a
+// vote for somebody else.
+//
+// The capacity is a compile-time parameter: `ReplicaSet` (what all quorum
+// structures speak) is BasicReplicaSet<HS1_REPLICA_SET_CAPACITY>, 512 by
+// default and overridable at configure time
+// (-DHS1_REPLICA_SET_CAPACITY=1024) — no code edits needed to go past it.
 //
 // Value semantics are cheap by design (a few words, trivially copyable), so
 // the type can live inside per-transaction tallies that are created and
@@ -19,17 +25,19 @@
 
 namespace hotstuff1 {
 
-class ReplicaSet {
+template <uint32_t Capacity>
+class BasicReplicaSet {
+  static_assert(Capacity > 0 && Capacity % 64 == 0,
+                "ReplicaSet capacity must be a positive multiple of 64");
+
  public:
-  /// Largest committee any quorum-tracking structure supports. Raising it is
-  /// a recompile (everything speaks ReplicaSet, nothing packs ids into a
-  /// single word).
-  static constexpr uint32_t kCapacity = 256;
+  /// Largest committee this quorum-tracking structure supports.
+  static constexpr uint32_t kCapacity = Capacity;
 
-  constexpr ReplicaSet() = default;
+  constexpr BasicReplicaSet() = default;
 
-  static ReplicaSet Single(uint32_t r) {
-    ReplicaSet s;
+  static BasicReplicaSet Single(uint32_t r) {
+    BasicReplicaSet s;
     s.Set(r);
     return s;
   }
@@ -60,32 +68,45 @@ class ReplicaSet {
     return true;
   }
 
-  ReplicaSet& operator|=(const ReplicaSet& o) {
+  BasicReplicaSet& operator|=(const BasicReplicaSet& o) {
     for (uint32_t i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
     return *this;
   }
-  ReplicaSet& operator&=(const ReplicaSet& o) {
+  BasicReplicaSet& operator&=(const BasicReplicaSet& o) {
     for (uint32_t i = 0; i < kWords; ++i) words_[i] &= o.words_[i];
     return *this;
   }
 
-  friend ReplicaSet operator|(ReplicaSet a, const ReplicaSet& b) { return a |= b; }
-  friend ReplicaSet operator&(ReplicaSet a, const ReplicaSet& b) { return a &= b; }
+  friend BasicReplicaSet operator|(BasicReplicaSet a, const BasicReplicaSet& b) {
+    return a |= b;
+  }
+  friend BasicReplicaSet operator&(BasicReplicaSet a, const BasicReplicaSet& b) {
+    return a &= b;
+  }
 
-  friend bool operator==(const ReplicaSet& a, const ReplicaSet& b) {
+  friend bool operator==(const BasicReplicaSet& a, const BasicReplicaSet& b) {
     for (uint32_t i = 0; i < kWords; ++i) {
       if (a.words_[i] != b.words_[i]) return false;
     }
     return true;
   }
-  friend bool operator!=(const ReplicaSet& a, const ReplicaSet& b) {
+  friend bool operator!=(const BasicReplicaSet& a, const BasicReplicaSet& b) {
     return !(a == b);
   }
 
  private:
-  static constexpr uint32_t kWords = kCapacity / 64;
+  static constexpr uint32_t kWords = Capacity / 64;
   uint64_t words_[kWords] = {};
 };
+
+/// Committee-size ceiling every quorum structure shares. A configure-time
+/// knob rather than a code edit: pass -DHS1_REPLICA_SET_CAPACITY=<mult of
+/// 64> to raise it further.
+#ifndef HS1_REPLICA_SET_CAPACITY
+#define HS1_REPLICA_SET_CAPACITY 512
+#endif
+
+using ReplicaSet = BasicReplicaSet<HS1_REPLICA_SET_CAPACITY>;
 
 }  // namespace hotstuff1
 

@@ -18,6 +18,7 @@
 
 #include "common/replica_set.h"
 #include "common/status.h"
+#include "crypto/authenticator.h"
 #include "crypto/signer.h"
 #include "ledger/block.h"
 
@@ -82,7 +83,16 @@ class Certificate {
   /// over the reconstructed vote digest. Genesis verifies trivially.
   Status Verify(const KeyRegistry& registry, uint32_t quorum) const;
 
-  size_t WireSize() const { return 64 + sigs_.size() * 96; }
+  /// Wire bytes: a 64-byte header (kind, block id, hashes, formed view) plus
+  /// the authenticator section, whose size the scheme decides — the share
+  /// vector is O(n), an aggregate is O(1) + bitmap, a threshold signature is
+  /// O(1). The default model (multisig vector) reproduces the historical
+  /// 64 + shares*96 accounting. Only the byte count varies: `sigs_` itself —
+  /// share counting, signer distinctness, digest verification — is identical
+  /// under every scheme.
+  size_t WireSize(const AuthSizeModel& model = AuthSizeModel{}) const {
+    return 64 + model.CertBytes(sigs_.size());
+  }
 
   std::string ToString() const;
 

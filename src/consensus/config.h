@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "crypto/authenticator.h"
 
 namespace hotstuff1 {
 
@@ -71,6 +72,10 @@ struct ConsensusConfig {
   /// View timer length τ handed to the pacemaker.
   SimTime view_timer = Millis(10);
   CostModel costs;
+  /// Wire encoding of shares/certificates — a pure byte-size axis charged by
+  /// Network's bandwidth serialization (crypto/authenticator.h). The
+  /// consensus-visible certificate contract is scheme-independent.
+  CertScheme cert_scheme = CertScheme::kMultisigVector;
 
   /// Slotted HotStuff-1: cap on slots per view; 0 = adaptive (as many as the
   /// view timer allows, §6.1).
@@ -95,6 +100,9 @@ struct ConsensusConfig {
   bool test_break_safety = false;
 
   uint32_t quorum() const { return n - f; }
+
+  /// Size model the transport stamps onto outgoing messages.
+  AuthSizeModel auth_model() const { return AuthSizeModel{cert_scheme, n}; }
 
   /// Standard configuration for n replicas with f = floor((n-1)/3).
   static ConsensusConfig ForN(uint32_t n) {

@@ -33,6 +33,17 @@ struct ConsensusMessage : public sim::NetMessage {
 
   Type type;
   ReplicaId sender;
+
+  /// Authenticator size model the WireSize overrides consult for share and
+  /// certificate bytes. Messages travel as shared_ptr<const ...>, so the
+  /// sender's transport (ReplicaBase::SendTo/Broadcast/SendMasked — the one
+  /// choke point all consensus traffic crosses) stamps it via this mutable
+  /// field before Network::Send reads WireSize; receivers only ever read.
+  /// The default (vector scheme) reproduces the pre-model byte accounting,
+  /// so unstamped messages (unit tests constructing messages directly) keep
+  /// their legacy sizes.
+  mutable AuthSizeModel auth;
+  void StampAuth(const AuthSizeModel& model) const { auth = model; }
 };
 
 using ConsensusMessagePtr = std::shared_ptr<const ConsensusMessage>;
@@ -52,8 +63,8 @@ struct ProposeMsg : public ConsensusMessage {
   BlockPtr carry;                          // slotted way (ii) carry block
 
   size_t WireSize() const override {
-    size_t sz = 32 + block->WireSize() + justify.WireSize();
-    if (commit_cert) sz += commit_cert->WireSize();
+    size_t sz = 32 + block->WireSize() + justify.WireSize(auth);
+    if (commit_cert) sz += commit_cert->WireSize(auth);
     if (carry) sz += 32;  // H_u only; the block itself was already broadcast
     return sz;
   }
@@ -71,7 +82,11 @@ struct VoteMsg : public ConsensusMessage {
   Signature share;
   Certificate high_cert;  // voter's highest certificate (slotted NewSlot msgs)
 
-  size_t WireSize() const override { return 160 + high_cert.WireSize(); }
+  // 64 fixed (kind, views, block id, hashes) + one share + the carried cert.
+  // Vector scheme: 64 + 96 + cert = the historical 160 + cert.
+  size_t WireSize() const override {
+    return 64 + auth.ShareBytes() + high_cert.WireSize(auth);
+  }
 };
 
 /// Basic HotStuff-1 second half-phase: the leader broadcasts the prepare
@@ -81,7 +96,7 @@ struct PrepareMsg : public ConsensusMessage {
 
   Certificate cert;
 
-  size_t WireSize() const override { return 48 + cert.WireSize(); }
+  size_t WireSize() const override { return 48 + cert.WireSize(auth); }
 };
 
 /// View transition message to the next leader. In the streamlined protocols
@@ -99,7 +114,13 @@ struct NewViewMsg : public ConsensusMessage {
   BlockId voted_id;     // id of the block the share votes for (H_h's id)
   Hash256 voted_hash;   // H_h
 
-  size_t WireSize() const override { return 200 + high_cert.WireSize(); }
+  // 104 fixed (target view, share metadata, voted id/hash) + the share slot
+  // + the carried cert. Vector scheme: 104 + 96 + cert = the historical
+  // 200 + cert. The share slot is charged even when has_share is false (⊥
+  // timeouts), matching the fixed-frame encoding the constants assume.
+  size_t WireSize() const override {
+    return 104 + auth.ShareBytes() + high_cert.WireSize(auth);
+  }
 };
 
 /// Slotted HotStuff-1: replica rejects an unsafe proposal and reports its
@@ -111,7 +132,7 @@ struct RejectMsg : public ConsensusMessage {
   uint32_t slot = 1;
   Certificate high_cert;
 
-  size_t WireSize() const override { return 64 + high_cert.WireSize(); }
+  size_t WireSize() const override { return 64 + high_cert.WireSize(auth); }
 };
 
 /// Pacemaker Wish (Fig. 3 line 10).
@@ -121,7 +142,8 @@ struct WishMsg : public ConsensusMessage {
   uint64_t view = 0;
   Signature share;
 
-  size_t WireSize() const override { return 112; }
+  // 16 fixed (view) + one share. Vector scheme: the historical 112.
+  size_t WireSize() const override { return 16 + auth.ShareBytes(); }
 };
 
 /// Pacemaker timeout certificate TC_v (Fig. 3 lines 12-15).
@@ -131,7 +153,9 @@ struct TimeoutCertMsg : public ConsensusMessage {
   uint64_t view = 0;
   std::vector<Signature> sigs;
 
-  size_t WireSize() const override { return 48 + sigs.size() * 96; }
+  // A TC is a quorum certificate over (view, ⊥): same authenticator shapes
+  // as a block certificate. Vector scheme: the historical 48 + |sigs|*96.
+  size_t WireSize() const override { return 48 + auth.CertBytes(sigs.size()); }
 };
 
 /// Recovery fetch of a missing block (§4.2, Recovery Mechanism).

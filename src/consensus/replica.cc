@@ -12,6 +12,7 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
                          KvState initial_state)
     : id_(id),
       config_(config),
+      auth_model_(config.auth_model()),
       net_(net),
       registry_(registry),
       signer_(registry, id),
@@ -77,19 +78,27 @@ void ReplicaBase::HandleMessage(sim::NodeId from, const sim::NetMessagePtr& raw)
   }
 }
 
+// Every consensus send crosses one of these three methods (pacemaker traffic
+// routes through the Callbacks lambdas above), so stamping here is exhaustive:
+// the authenticator size model is attached on the sender's shard before
+// Network::Send reads WireSize, and receivers only ever read it.
+
 void ReplicaBase::SendTo(ReplicaId to, ConsensusMessagePtr msg) {
   if (crashed_) return;
+  msg->StampAuth(auth_model_);
   net_->Send(id_, to, std::move(msg));
 }
 
 void ReplicaBase::Broadcast(const ConsensusMessagePtr& msg, bool include_self) {
   if (crashed_) return;
+  msg->StampAuth(auth_model_);
   net_->Broadcast(id_, msg, include_self);
 }
 
 void ReplicaBase::SendMasked(const std::vector<bool>& mask,
                              const ConsensusMessagePtr& msg) {
   if (crashed_) return;
+  msg->StampAuth(auth_model_);
   for (ReplicaId to = 0; to < config_.n; ++to) {
     if (mask[to]) net_->Send(id_, to, msg);
   }

@@ -115,6 +115,9 @@ class ReplicaBase {
 
   ReplicaId id_;
   ConsensusConfig config_;
+  /// Stamped onto every outgoing message so WireSize charges the configured
+  /// authenticator byte shapes (see the transport methods in replica.cc).
+  AuthSizeModel auth_model_;
   sim::Network* net_;
   const KeyRegistry* registry_;
   Signer signer_;

@@ -1,0 +1,30 @@
+#include "crypto/authenticator.h"
+
+namespace hotstuff1 {
+
+const char* CertSchemeName(CertScheme scheme) {
+  switch (scheme) {
+    case CertScheme::kMultisigVector: return "vector";
+    case CertScheme::kAggregate: return "aggregate";
+    case CertScheme::kThreshold: return "threshold";
+  }
+  return "vector";
+}
+
+bool ParseCertScheme(const std::string& text, CertScheme* out) {
+  if (text == "vector" || text == "multisig") {
+    *out = CertScheme::kMultisigVector;
+    return true;
+  }
+  if (text == "aggregate" || text == "bls") {
+    *out = CertScheme::kAggregate;
+    return true;
+  }
+  if (text == "threshold") {
+    *out = CertScheme::kThreshold;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hotstuff1

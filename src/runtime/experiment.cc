@@ -71,6 +71,8 @@ std::string DescribeConfig(const ExperimentConfig& config) {
   out += " bw=" +
          std::to_string(static_cast<long long>(config.bandwidth_bytes_per_us));
   out += " groups=" + std::to_string(config.client_groups);
+  out += " cert=";
+  out += CertSchemeName(config.cert_scheme);
   out += " arrival=";
   out += ArrivalKindName(config.arrival.kind);
   if (config.arrival.kind != ArrivalKind::kClosedLoop) {
@@ -195,6 +197,7 @@ void Experiment::Setup() {
   cc.delta = config_.delta;
   cc.view_timer = config_.view_timer;
   cc.costs = config_.costs;
+  cc.cert_scheme = config_.cert_scheme;
   cc.max_slots_per_view = config_.max_slots;
   cc.speculation_enabled = config_.speculation_enabled;
   cc.trusted_leader_enabled = config_.trusted_leader_enabled;

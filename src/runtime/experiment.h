@@ -102,6 +102,10 @@ struct ExperimentConfig {
   bool track_accepted = false;
 
   CostModel costs;
+  // Authenticator wire encoding (--cert-scheme): what one signature share or
+  // certificate costs in bytes through the bandwidth model. Pure size axis —
+  // the consensus contract is identical under every scheme.
+  CertScheme cert_scheme = CertScheme::kMultisigVector;
   double bandwidth_bytes_per_us = 2000.0;
 
   // Intra-experiment parallelism: worker threads for the simulator's event

@@ -103,6 +103,17 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
       }
     }
   }
+  if (has_cert_scheme_) {
+    // fig_cert_size sweeps the authenticator scheme as its column axis.
+    const bool axis_sweeps_scheme =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.cert_scheme != spec.base.cert_scheme;
+                    });
+    if (!axis_sweeps_scheme) {
+      for (SweepPoint& p : outcome.points) p.config.cert_scheme = cert_scheme_;
+    }
+  }
   if (client_groups_ > 0) {
     const bool axis_sweeps_groups =
         std::any_of(outcome.points.begin(), outcome.points.end(),
@@ -341,6 +352,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   if (options.has_arrival) runner.ForceArrival(options.arrival);
   if (options.has_offered_load) runner.ForceOfferedLoad(options.offered_load);
   if (options.client_groups > 0) runner.ForceClientGroups(options.client_groups);
+  if (options.has_cert_scheme) runner.ForceCertScheme(options.cert_scheme);
   SweepOutcome outcome = runner.Run(spec, options.smoke);
   if (options.repeat > 1) {
     // Rerun and keep the per-point *median* wall-clock time. Every

@@ -38,6 +38,10 @@ struct ScenarioRunOptions {
   bool has_offered_load = false;
   double offered_load = 0;
   uint32_t client_groups = 0;  // 0 keeps each point's configured value
+  // Authenticator-scheme override (--cert-scheme); applied to every point
+  // unless the scenario sweeps cert_scheme as an axis (fig_cert_size does).
+  bool has_cert_scheme = false;
+  CertScheme cert_scheme = CertScheme::kMultisigVector;
   // Arms the online invariant oracle on every point (--oracle). Scenarios
   // that enable it in their base config (fuzz) run with it regardless.
   bool oracle = false;
@@ -122,6 +126,14 @@ class SweepRunner {
     return *this;
   }
 
+  /// Forces an authenticator scheme onto every point (respect-the-axis rule:
+  /// ignored for scenarios that sweep cert_scheme themselves).
+  SweepRunner& ForceCertScheme(CertScheme scheme) {
+    cert_scheme_ = scheme;
+    has_cert_scheme_ = true;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
@@ -136,6 +148,8 @@ class SweepRunner {
   bool has_offered_load_ = false;
   double offered_load_ = 0;
   uint32_t client_groups_ = 0;
+  bool has_cert_scheme_ = false;
+  CertScheme cert_scheme_ = CertScheme::kMultisigVector;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

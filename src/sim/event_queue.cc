@@ -41,7 +41,12 @@ size_t EventQueue::FindLiveBucket(size_t start) const {
   size_t w = start >> 6;
   uint64_t word = live_[w] & (~uint64_t{0} << (start & 63));
   const size_t words = kBuckets / 64;
-  for (size_t i = 0; i < words; ++i) {
+  // One extra lap step: iteration `words` revisits the starting word
+  // unmasked, because a bucket at the tail of the window (time close to
+  // near_start_ + kSpan) wraps into the starting word *below* the start bit
+  // and the masked first pass cannot see it. Its high bits were zero on that
+  // first pass, so ctz of the full word lands on the wrapped low region.
+  for (size_t i = 0; i <= words; ++i) {
     if (word != 0) {
       return (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
     }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/replica_set.h"
 #include "sim/parallel_executor.h"
 
 namespace hotstuff1::sim {
@@ -44,7 +45,7 @@ void Simulator::SetJobs(int jobs) {
   // (<= ReplicaSet::kCapacity replicas + clients — the committee-size ceiling
   // every quorum structure shares), so more workers can never help, and
   // absurd values must not reach std::thread's constructor (which throws).
-  constexpr int kMaxJobs = 256;
+  constexpr int kMaxJobs = static_cast<int>(ReplicaSet::kCapacity);
   if (jobs > kMaxJobs) jobs = kMaxJobs;
   if (jobs <= 1) {
     exec_.reset();

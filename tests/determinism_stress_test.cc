@@ -1,7 +1,8 @@
 // Randomized determinism stress harness: each seed derives an arbitrary
 // ExperimentConfig (committee size — including multi-word quorums past
-// n = 64 — protocol, batch, faults, bandwidth, client-group shard counts,
-// open-loop arrival processes) and the run is repeated at
+// n = 64 — protocol, batch, faults, bandwidth, authenticator scheme,
+// client-group shard counts, open-loop arrival processes) and the run is
+// repeated at
 // {1, 4} sim_jobs x {off, auto} lookahead. Every deterministic result field
 // must be identical, so parallel-executor regressions surface from plain
 // `ctest` instead of hand-written reproduction scripts; a failure names the
@@ -50,6 +51,14 @@ ExperimentConfig ConfigFromSeed(uint64_t seed) {
   }
 
   cfg.bandwidth_bytes_per_us = rng.NextBool(0.5) ? 2000.0 : 200000.0;
+
+  // Authenticator wire scheme: changes per-message byte sizes, hence
+  // serialization times and the whole event schedule — a fresh determinism
+  // surface the fixed-size era never exercised.
+  constexpr CertScheme kSchemes[] = {CertScheme::kMultisigVector,
+                                     CertScheme::kAggregate,
+                                     CertScheme::kThreshold};
+  cfg.cert_scheme = kSchemes[rng.NextBounded(3)];
 
   // Client-pool shape: shard count and traffic model. Closed loop is drawn
   // with double weight (it is the paper-fidelity default and exercises the

@@ -152,6 +152,24 @@ TEST(EventQueueTest, FarEntryTiesWithNearAtSameTime) {
   EXPECT_EQ(q.Pop().seq, 4u);
 }
 
+TEST(EventQueueTest, TailBucketWrappingIntoStartWordIsFound) {
+  EventQueue q;
+  // Advance the window floor to 100 (start bucket 100 = bitmap word 1,
+  // bit 36), then park the only live event at the *tail* of the window:
+  // t = 16474 is in-window (16474 - 100 < 16384) but its ring bucket
+  // (16474 mod 16384 = 90) wraps into word 1 at bit 26 — *below* the start
+  // bit. A bitmap scan that masks the starting word and never revisits it
+  // cannot see this bucket and dies with "live bitmap empty".
+  q.Push(100, 0, 0);
+  EXPECT_EQ(q.Pop().idx, 0u);
+  q.Push(16474, 1, 7);
+  EventHandle h;
+  ASSERT_TRUE(q.Peek(&h));
+  EXPECT_EQ(h.time, 16474);
+  EXPECT_EQ(q.Pop().idx, 7u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, RepushRefillsDrainedTickInPopOrder) {
   EventQueue q;
   for (uint64_t seq = 0; seq < 6; ++seq) q.Push(100, seq, 10 + seq);

@@ -1,7 +1,9 @@
 // ReplicaSet: multi-word bit ops, popcount/quorum thresholds at every word
-// boundary the n=128 extension crosses, the hard out-of-range check, and the
-// client-pool regression proving the old `1ULL << (from % 64)` aliasing bug
-// (two replicas 64 apart sharing one vote bit) is gone.
+// boundary up to the kCapacity=512 default (the n=512 extension crosses
+// eight words), the hard out-of-range check, the BasicReplicaSet capacity
+// parameter, and the client-pool regression proving the old
+// `1ULL << (from % 64)` aliasing bug (two replicas 64 apart sharing one vote
+// bit) is gone.
 
 #include <gtest/gtest.h>
 
@@ -21,17 +23,21 @@ TEST(ReplicaSetTest, StartsEmpty) {
 
 TEST(ReplicaSetTest, SetTestAcrossWordBoundaries) {
   ReplicaSet s;
-  const uint32_t ids[] = {0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 255};
+  const uint32_t ids[] = {0,   1,   63,  64,  65,  127, 128, 129, 191,
+                          192, 255, 256, 257, 319, 320, 383, 384, 447,
+                          448, 510, 511};
   for (uint32_t r : ids) s.Set(r);
-  EXPECT_EQ(s.Count(), 11u);
+  EXPECT_EQ(s.Count(), 21u);
   for (uint32_t r : ids) EXPECT_TRUE(s.Test(r));
   // Neighbours of every boundary id stay clear: no bleed between words.
-  for (uint32_t r : {2u, 62u, 66u, 126u, 130u, 190u, 193u, 254u}) {
+  for (uint32_t r : {2u, 62u, 66u, 126u, 130u, 190u, 193u, 254u, 258u, 318u,
+                     321u, 382u, 385u, 446u, 449u, 509u}) {
     EXPECT_FALSE(s.Test(r)) << r;
   }
   // Setting twice is idempotent.
   s.Set(64);
-  EXPECT_EQ(s.Count(), 11u);
+  s.Set(511);
+  EXPECT_EQ(s.Count(), 21u);
 }
 
 TEST(ReplicaSetTest, NoAliasingAcrossWords) {
@@ -49,9 +55,10 @@ TEST(ReplicaSetTest, NoAliasingAcrossWords) {
 }
 
 TEST(ReplicaSetTest, CountReachesQuorumAtWordBoundaryCommittees) {
-  // For each committee size the n=128 extension crosses, filling the first
-  // `quorum` ids must reach the n-f threshold exactly once.
-  for (uint32_t n : {63u, 64u, 65u, 96u, 127u, 128u}) {
+  // For each committee size the n=512 extension crosses, filling the first
+  // `quorum` ids must reach the n-f threshold exactly once. 257 and 511 sit
+  // just past / just under a word boundary; 512 fills the whole set.
+  for (uint32_t n : {63u, 64u, 65u, 96u, 127u, 128u, 256u, 257u, 511u, 512u}) {
     const uint32_t f = (n - 1) / 3;
     const uint32_t quorum = n - f;
     ReplicaSet s;
@@ -85,11 +92,32 @@ TEST(ReplicaSetTest, UnionIntersectionEquality) {
   EXPECT_EQ(a | b, b | a);
 }
 
+TEST(ReplicaSetTest, CapacityIsCompileTimeParameter) {
+  // The default alias must track HS1_REPLICA_SET_CAPACITY (512 unless the
+  // build overrides it), and other instantiations size independently.
+  static_assert(ReplicaSet::kCapacity == HS1_REPLICA_SET_CAPACITY);
+  static_assert(BasicReplicaSet<64>::kCapacity == 64);
+  static_assert(BasicReplicaSet<1024>::kCapacity == 1024);
+  BasicReplicaSet<64> narrow;
+  narrow.Set(63);
+  EXPECT_TRUE(narrow.Test(63));
+  EXPECT_EQ(narrow.Count(), 1u);
+  BasicReplicaSet<1024> wide;
+  wide.Set(1023);
+  EXPECT_TRUE(wide.Test(1023));
+  EXPECT_EQ(wide.Count(), 1u);
+}
+
 TEST(ReplicaSetDeathTest, OutOfRangeIdIsFatal) {
-  // An id beyond the capacity is a protocol bug, not a modular wrap.
+  // An id beyond the capacity is a protocol bug, not a modular wrap. With the
+  // 512 default this covers the old hard-fail point (id 256) as a plain
+  // in-range Set and fails only at the new boundary.
   ReplicaSet s;
+  s.Set(256);  // legal now; used to be the capacity wall
   EXPECT_DEATH(s.Set(ReplicaSet::kCapacity), "ReplicaSet capacity");
   EXPECT_DEATH((void)s.Test(ReplicaSet::kCapacity), "ReplicaSet capacity");
+  BasicReplicaSet<64> narrow;
+  EXPECT_DEATH(narrow.Set(64), "ReplicaSet capacity");
 }
 
 // --- client-pool regression ---------------------------------------------------

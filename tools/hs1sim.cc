@@ -42,6 +42,9 @@ void PrintUsage(std::FILE* out) {
   --arrival=closed|poisson|bursty|diurnal|flash   traffic model (default
                                 closed = one outstanding txn per client)
   --offered-load=<txn/s>        open-loop aggregate arrival rate (default 50000)
+  --cert-scheme=vector|aggregate|threshold   authenticator wire encoding
+                                (default vector = §7's n−f signature list;
+                                pure byte-size axis, results stay safe/live)
   --max_slots=<k>               slotted: cap slots/view (0 = adaptive)
   --no_speculation              disable speculative responses
   --no_trusted_leader           disable the §6.3 fast path
@@ -62,7 +65,7 @@ Registered scenarios (the hs1bench sweep engine):
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
   (--sim-jobs / --lookahead / --oracle / --arrival / --offered-load /
-   --client-groups apply to scenario points too)
+   --client-groups / --cert-scheme apply to scenario points too)
 )");
 }
 
@@ -135,6 +138,13 @@ int RunMain(int argc, char** argv) {
       flags.GetDouble("offered-load", cfg.arrival.offered_load_tps);
   if (cfg.arrival.offered_load_tps <= 0) {
     std::fprintf(stderr, "--offered-load must be a positive txn/s rate\n");
+    return Usage();
+  }
+  if (flags.Has("cert-scheme") &&
+      !ParseCertScheme(flags.GetString("cert-scheme", ""), &cfg.cert_scheme)) {
+    std::fprintf(stderr,
+                 "bad --cert-scheme '%s' (want vector|aggregate|threshold)\n",
+                 flags.GetString("cert-scheme", "").c_str());
     return Usage();
   }
   cfg.max_slots = static_cast<uint32_t>(flags.GetInt("max_slots", 0));

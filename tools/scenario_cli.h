@@ -102,6 +102,16 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
     }
     options->has_offered_load = true;
   }
+  if (flags.Has("cert-scheme")) {
+    if (!ParseCertScheme(flags.GetString("cert-scheme", ""),
+                         &options->cert_scheme)) {
+      std::fprintf(stderr,
+                   "bad --cert-scheme '%s' (want vector|aggregate|threshold)\n",
+                   flags.GetString("cert-scheme", "").c_str());
+      return false;
+    }
+    options->has_cert_scheme = true;
+  }
   options->client_groups =
       static_cast<uint32_t>(flags.GetInt("client-groups", 0));
   if (flags.Has("client-groups") && options->client_groups < 1) {
