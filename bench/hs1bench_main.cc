@@ -34,9 +34,13 @@ void PrintUsage(std::FILE* out) {
                              event loop (default: per-scenario config;
                              byte-identical at any value)
   --format=table|csv|json    output format (default table)
-  --oracle                   arm the online invariant oracle on every point
-                             (pure observer; violations fail the run with a
-                             config+seed diagnostic)
+  --oracle                   arm the online safety + liveness oracles on every
+                             point (pure observers; violations fail the run
+                             with a config+seed diagnostic)
+  --strategy=<schedule>      force a composable per-epoch adversary strategy
+                             onto every point's faulty coalition (grammar in
+                             runtime/adversary.h; respected only when the
+                             scenario does not sweep the strategy itself)
   --arrival=<kind>           force a traffic model onto every point
                              (closed|poisson|bursty|diurnal|flash; respected
                              only when the scenario does not sweep it)

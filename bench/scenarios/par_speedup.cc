@@ -23,6 +23,8 @@
 // the tables only, never in CSV/JSON, so the machine-readable output stays
 // byte-identical across runs and across --sim-jobs / --lookahead.
 
+#include <thread>
+
 #include "runtime/report.h"
 #include "runtime/scenario.h"
 
@@ -75,6 +77,15 @@ ScenarioSpec ParSpeedup() {
         {ProtocolName(kind), [kind](ExperimentConfig& c) { c.protocol = kind; }});
   }
   spec.metrics = {ThroughputMetric(), WallClockMetric()};
+
+  // On a single-core host every sim_jobs row runs the same one worker, so
+  // flat wall_ms rows are expected, not a regression. Say so under the
+  // tables instead of letting the reader chase a phantom slowdown.
+  if (std::thread::hardware_concurrency() <= 1) {
+    spec.table_note =
+        "note: single-core host (hardware_concurrency <= 1) - sim_jobs rows "
+        "share one core, wall_ms speedup is not meaningful here";
+  }
 
   // CI-sized: the structure (all sim_jobs x lookahead points agree on
   // virtual results) still holds at a fraction of the cost.

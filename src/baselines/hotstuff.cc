@@ -205,10 +205,12 @@ void ChainedReplica::Propose(uint64_t v) {
     return;
   }
 
-  if (adversary_.fault == Fault::kRollbackAttack && adversary_.faulty &&
+  if (adversary_.Equivocates(Now()) && adversary_.faulty &&
       high_cert_.block_id().view + 1 == v) {
     // §7.3 Rollback: equivocate across P(v-1) and P(v-2) so that a subset of
     // correct replicas speculates a block the winning branch abandons.
+    // (Either the legacy kRollbackAttack or a strategy schedule with an
+    // equivocate entry live in the current epoch lands here.)
     const Certificate honest = high_cert_;
     const Certificate* prev = JustifyOf(honest.block_hash());
     const BlockPtr parent_a = store_.GetOrNull(honest.block_hash());
@@ -241,6 +243,9 @@ void ChainedReplica::Propose(uint64_t v) {
       msg_b->justify = *prev;
       ++metrics_.blocks_proposed;
       ++metrics_.slots_proposed;
+      // Record the campaign before the sends so that even a same-tick victim
+      // rollback finds its justification outstanding.
+      if (oracle_) oracle_->OnEquivocationSent(id_, v);
       SendMasked(mask_a, msg_a);
       SendMasked(mask_b, msg_b);
       return;

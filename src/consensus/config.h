@@ -4,6 +4,7 @@
 #ifndef HOTSTUFF1_CONSENSUS_CONFIG_H_
 #define HOTSTUFF1_CONSENSUS_CONFIG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -27,6 +28,116 @@ struct CostModel {
     return static_cast<SimTime>(per_txn_exec_us * static_cast<double>(txns));
   }
 };
+
+// --- composable adversary strategies -----------------------------------------
+// The legacy Fault enum below models three fixed attacks. The strategy
+// schedule generalizes them: per-epoch combinations of four primitives, each
+// independently toggled for the adversary coalition. runtime/adversary.{h,cc}
+// parses/formats schedules and threads them into AdversarySpec; replicas
+// consult them through the AdversarySpec helpers at their transport and
+// proposal choke points.
+
+/// Primitive adversary actions, combinable as a bitmask per epoch.
+enum StrategyAction : uint32_t {
+  kActNone = 0,
+  /// Split proposals across a victim mask (§7.3 rollback equivocation).
+  kActEquivocate = 1u << 0,
+  /// Drop all outbound protocol traffic (silent-but-listening coalition).
+  kActWithhold = 1u << 1,
+  /// Extra one-way delay on all of the coalition's outbound traffic
+  /// (implemented as Network fault rules — only ever *adds* delay, so the
+  /// lookahead horizon stays valid).
+  kActDelay = 1u << 2,
+  /// Drop traffic addressed to the current or next view's leader, starving
+  /// certificate formation without going fully silent.
+  kActTargetLeader = 1u << 3,
+};
+
+/// Sentinel for an open-ended strategy entry.
+inline constexpr uint32_t kEpochForever = UINT32_MAX;
+
+/// One schedule row: `actions` are live during epochs [from_epoch, to_epoch).
+struct StrategyEntry {
+  uint32_t from_epoch = 0;
+  uint32_t to_epoch = kEpochForever;  // exclusive; kEpochForever = open-ended
+  uint32_t actions = kActNone;
+  SimTime delay = 0;  // only read when actions has kActDelay
+};
+
+inline bool operator==(const StrategyEntry& a, const StrategyEntry& b) {
+  return a.from_epoch == b.from_epoch && a.to_epoch == b.to_epoch &&
+         a.actions == b.actions && a.delay == b.delay;
+}
+
+/// A per-epoch adversary strategy for the whole coalition. Epochs are fixed
+/// wall-clock slices of `epoch_length` virtual time (0 = resolve to
+/// (f+1) * view_timer at experiment setup, mirroring the pacemaker's
+/// f+1-views-per-epoch grouping). `declared_gst` is the time the adversary
+/// *claims* interference ends (Global Stabilization Time): kGstAuto derives
+/// it from the schedule — the end of the last interference entry, or "never"
+/// for open-ended interference. A schedule that keeps interfering past its
+/// declared GST is exactly what the liveness oracle exists to flag.
+struct StrategySchedule {
+  std::vector<StrategyEntry> entries;
+  SimTime epoch_length = 0;          // 0 = auto: (f+1) * view_timer
+  static constexpr SimTime kGstAuto = -1;
+  static constexpr SimTime kGstNever = INT64_MAX;
+  SimTime declared_gst = kGstAuto;
+
+  bool empty() const { return entries.empty(); }
+
+  bool HasAction(uint32_t action) const {
+    for (const StrategyEntry& e : entries) {
+      if (e.actions & action) return true;
+    }
+    return false;
+  }
+
+  /// OR of all actions live during epoch `epoch`.
+  uint32_t ActionsInEpoch(uint32_t epoch) const {
+    uint32_t a = kActNone;
+    for (const StrategyEntry& e : entries) {
+      if (epoch >= e.from_epoch && epoch < e.to_epoch) a |= e.actions;
+    }
+    return a;
+  }
+
+  /// Epoch index at virtual time `now`. Requires a resolved epoch_length.
+  uint32_t EpochAt(SimTime now) const {
+    return epoch_length <= 0 ? 0 : static_cast<uint32_t>(now / epoch_length);
+  }
+
+  uint32_t ActionsAt(SimTime now) const {
+    return entries.empty() ? kActNone : ActionsInEpoch(EpochAt(now));
+  }
+
+  /// Actions that perturb message timeliness (everything but equivocation;
+  /// an equivocating leader is a safety problem, not a progress problem).
+  static constexpr uint32_t kInterference =
+      kActWithhold | kActDelay | kActTargetLeader;
+
+  /// Concrete GST given a resolved epoch_length: the declared time if set,
+  /// else the end of the last interference entry (0 when the schedule never
+  /// interferes, kGstNever when it interferes open-endedly).
+  SimTime ResolvedGst() const {
+    if (declared_gst != kGstAuto) return declared_gst;
+    SimTime gst = 0;
+    for (const StrategyEntry& e : entries) {
+      if (!(e.actions & kInterference)) continue;
+      if (e.to_epoch == kEpochForever) return kGstNever;
+      gst = std::max(gst, static_cast<SimTime>(e.to_epoch) * epoch_length);
+    }
+    return gst;
+  }
+};
+
+inline bool operator==(const StrategySchedule& a, const StrategySchedule& b) {
+  return a.entries == b.entries && a.epoch_length == b.epoch_length &&
+         a.declared_gst == b.declared_gst;
+}
+inline bool operator!=(const StrategySchedule& a, const StrategySchedule& b) {
+  return !(a == b);
+}
 
 /// Byzantine behaviours used by the failure experiments (§7.3).
 enum class Fault : uint8_t {
@@ -57,9 +168,30 @@ struct AdversarySpec {
   /// Shared membership of the adversary's coalition: faulty->at(r) is true
   /// iff replica r is adversary-controlled. Null for honest replicas.
   std::shared_ptr<const std::vector<bool>> faulty;
+  /// Per-epoch strategy schedule (resolved: epoch_length > 0). Null for
+  /// honest replicas and for legacy fixed-fault runs without a schedule.
+  std::shared_ptr<const StrategySchedule> schedule;
 
   bool IsByzantine() const {
     return fault != Fault::kNone && fault != Fault::kCrash;
+  }
+
+  /// Schedule-driven actions live at `now` (legacy faults NOT folded in —
+  /// use the named helpers below for behaviour checks).
+  uint32_t ScheduledActions(SimTime now) const {
+    return schedule ? schedule->ActionsAt(now) : kActNone;
+  }
+  /// The leader splits proposals across the victim mask. True for the legacy
+  /// kRollbackAttack in every epoch, and wherever the schedule says so.
+  bool Equivocates(SimTime now) const {
+    return fault == Fault::kRollbackAttack ||
+           (ScheduledActions(now) & kActEquivocate) != 0;
+  }
+  bool Withholds(SimTime now) const {
+    return (ScheduledActions(now) & kActWithhold) != 0;
+  }
+  bool TargetsLeader(SimTime now) const {
+    return (ScheduledActions(now) & kActTargetLeader) != 0;
   }
 };
 
@@ -98,6 +230,12 @@ struct ConsensusConfig {
   /// the speculated branch instead of rolling it back). Proves the oracle
   /// fires; never enable outside tests.
   bool test_break_safety = false;
+  /// Test-only mutation hook for the *liveness* oracle's self-test: the
+  /// pacemaker silently stops sending Wish messages after epoch 0, so view
+  /// synchronization stalls at the first epoch boundary while every
+  /// end-of-run safety check stays green. Only the online progress monitor
+  /// (runtime/liveness.h) catches it. Never enable outside tests.
+  bool test_break_liveness = false;
 
   uint32_t quorum() const { return n - f; }
 

@@ -40,6 +40,10 @@ void Pacemaker::CompletedView(uint64_t next_view) {
 void Pacemaker::SynchronizeEpoch(uint64_t view) {
   waiting_for_tc_ = true;
   pending_epoch_view_ = view;
+  // test_break_liveness: the replica blocks waiting for a TC that no one will
+  // ever assemble (every replica drops its Wishes past epoch 0), modelling a
+  // view-synchronization bug that stalls the system without violating safety.
+  if (break_epoch_sync_ && view > 0) return;
   auto msg = sim::MakeMessage<WishMsg>(signer_.id());
   msg->view = view;
   msg->share = signer_.Sign(SignDomain::kWish, WishDigest(view));

@@ -61,6 +61,12 @@ class Pacemaker {
 
   uint64_t epochs_synchronized() const { return epochs_synchronized_; }
 
+  /// Mutation hook (ConsensusConfig::test_break_liveness): stop sending Wish
+  /// messages for every epoch after the first, so view synchronization
+  /// silently starves once epoch 0's views complete. Safety stays intact —
+  /// only the liveness oracle's progress monitor can catch this.
+  void set_break_epoch_sync(bool broken) { break_epoch_sync_ = broken; }
+
   /// First view of the epoch containing `view`.
   uint64_t EpochStart(uint64_t view) const { return view - (view % (f_ + 1)); }
 
@@ -79,6 +85,7 @@ class Pacemaker {
 
   uint64_t current_view_ = 0;
   SimTime entered_at_ = 0;
+  bool break_epoch_sync_ = false;
   bool waiting_for_tc_ = false;
   uint64_t pending_epoch_view_ = 0;
 

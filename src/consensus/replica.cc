@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "sim/message_pool.h"
+#include "runtime/liveness.h"
 #include "runtime/oracle.h"
 
 namespace hotstuff1 {
@@ -27,6 +28,7 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
                 if (!crashed_) {
                   ++metrics_.views_entered;
                   if (oracle_) oracle_->OnViewEntered(id_, v);
+                  if (liveness_) liveness_->OnViewEntered(id_, v);
                   OnEnterView(v);
                 }
               },
@@ -48,6 +50,7 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
   net_->SetHandler(id_, [this](sim::NodeId from, const sim::NetMessagePtr& msg) {
     HandleMessage(from, msg);
   });
+  if (config_.test_break_liveness) pacemaker_.set_break_epoch_sync(true);
 }
 
 void ReplicaBase::Start() { pacemaker_.Start(); }
@@ -83,8 +86,19 @@ void ReplicaBase::HandleMessage(sim::NodeId from, const sim::NetMessagePtr& raw)
 // the authenticator size model is attached on the sender's shard before
 // Network::Send reads WireSize, and receivers only ever read it.
 
+bool ReplicaBase::SuppressSendTo(ReplicaId to) const {
+  if (to == id_ || !adversary_.schedule) return false;
+  const SimTime now = Now();
+  if (adversary_.Withholds(now)) return true;
+  if (adversary_.TargetsLeader(now)) {
+    const uint64_t v = view();
+    if (to == LeaderOf(v) || to == LeaderOf(v + 1)) return true;
+  }
+  return false;
+}
+
 void ReplicaBase::SendTo(ReplicaId to, ConsensusMessagePtr msg) {
-  if (crashed_) return;
+  if (crashed_ || SuppressSendTo(to)) return;
   msg->StampAuth(auth_model_);
   net_->Send(id_, to, std::move(msg));
 }
@@ -92,6 +106,16 @@ void ReplicaBase::SendTo(ReplicaId to, ConsensusMessagePtr msg) {
 void ReplicaBase::Broadcast(const ConsensusMessagePtr& msg, bool include_self) {
   if (crashed_) return;
   msg->StampAuth(auth_model_);
+  if (adversary_.schedule) {
+    // Per-destination so the suppression filter applies; Network::Broadcast
+    // is the same loop without the filter.
+    for (ReplicaId to = 0; to < config_.n; ++to) {
+      if (to == id_ && !include_self) continue;
+      if (SuppressSendTo(to)) continue;
+      net_->Send(id_, to, msg);
+    }
+    return;
+  }
   net_->Broadcast(id_, msg, include_self);
 }
 
@@ -100,7 +124,7 @@ void ReplicaBase::SendMasked(const std::vector<bool>& mask,
   if (crashed_) return;
   msg->StampAuth(auth_model_);
   for (ReplicaId to = 0; to < config_.n; ++to) {
-    if (mask[to]) net_->Send(id_, to, msg);
+    if (mask[to] && !SuppressSendTo(to)) net_->Send(id_, to, msg);
   }
 }
 
@@ -169,6 +193,7 @@ void ReplicaBase::DeliverCommits(const std::vector<ExecResult>& committed) {
     ++metrics_.blocks_committed;
     metrics_.txns_committed += res.block->txns().size();
     if (oracle_) oracle_->OnBlockCommitted(id_, res.block);
+    if (liveness_) liveness_->OnBlockCommitted(id_, res.block);
     if (!res.was_speculated) {
       // Execution happened just now, at commit time; charge it.
       ChargeCpu(config_.costs.ExecCost(res.block->txns().size()));
@@ -197,7 +222,12 @@ void ReplicaBase::TryCommit(const BlockPtr& target) {
   const uint64_t rolled_before = ledger_.blocks_rolled_back();
   DeliverCommits(ledger_.CommitChain(target));
   if (oracle_ && ledger_.rollback_events() != rollbacks_before) {
-    oracle_->OnRollback(id_, ledger_.blocks_rolled_back() - rolled_before);
+    // The conflicting view is the committed block's chain view, not this
+    // replica's current view: a CPU-backlogged victim may process an old
+    // conflicting commit arbitrarily late, and rollback legality (Def. 4.7)
+    // is a property of the chain position, not of the wall clock.
+    oracle_->OnRollback(id_, ledger_.blocks_rolled_back() - rolled_before,
+                        target->id().view);
   }
 }
 

@@ -22,6 +22,7 @@
 namespace hotstuff1 {
 
 class InvariantOracle;  // runtime/oracle.h
+class LivenessOracle;   // runtime/liveness.h
 
 class ReplicaBase {
  public:
@@ -51,6 +52,10 @@ class ReplicaBase {
   /// the protocol cores add certificate formations at their aggregation
   /// sites. Reporting is a pure observation and never alters behaviour.
   void SetOracle(InvariantOracle* oracle) { oracle_ = oracle; }
+  /// Attaches the online liveness oracle (null = disabled). The base class
+  /// feeds it the same view-entry and commit events as the safety oracle;
+  /// like the safety oracle it is a pure observer.
+  void SetLivenessOracle(LivenessOracle* oracle) { liveness_ = oracle; }
   /// Marks the replica crashed: it stops processing and sending. (The
   /// network additionally drops its traffic when Network::Crash is used.)
   void SetCrashed() { crashed_ = true; }
@@ -130,6 +135,7 @@ class ReplicaBase {
   ReplicaMetrics metrics_;
   AdversarySpec adversary_;
   InvariantOracle* oracle_ = nullptr;
+  LivenessOracle* liveness_ = nullptr;
   bool crashed_ = false;
   /// Highest view this replica has timed out of (exitView() semantics:
   /// "disable voting for view v"). During epoch synchronization the
@@ -139,6 +145,12 @@ class ReplicaBase {
   uint64_t exited_view_ = 0;
 
  private:
+  /// Strategy-schedule wire suppression (withhold / target-leader): true when
+  /// this (adversarial) replica must drop its outbound message to `to` right
+  /// now. Self-delivery is never suppressed — the coalition keeps its own
+  /// protocol state while starving everyone else.
+  bool SuppressSendTo(ReplicaId to) const;
+
   void HandleMessage(sim::NodeId from, const sim::NetMessagePtr& raw);
   void HandleFetchRequest(const FetchRequestMsg& msg);
   void HandleFetchResponse(const FetchResponseMsg& msg);

@@ -295,7 +295,9 @@ void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
   if (ledger_.rollback_events() != rollbacks_before) {
     ++metrics_.rollback_events;
     metrics_.blocks_rolled_back += out.blocks_rolled_back;
-    if (oracle_) oracle_->OnRollback(id_, out.blocks_rolled_back);
+    if (oracle_) {
+      oracle_->OnRollback(id_, out.blocks_rolled_back, certified->id().view);
+    }
   }
   for (const SpeculatedBlock& sb : out.executed) {
     ++metrics_.blocks_speculated;

@@ -185,7 +185,7 @@ void HotStuff1SlottedReplica::MaybeProposeFirst(uint64_t v) {
   if (st.first_proposed) return;
 
   const bool byzantine_suppress = adversary_.fault == Fault::kTailFork ||
-                                  adversary_.fault == Fault::kRollbackAttack;
+                                  adversary_.Equivocates(Now());
 
   // Trusted fast path: propose at network speed behind a correct previous
   // leader (§6.3).
@@ -226,7 +226,7 @@ bool HotStuff1SlottedReplica::ProposeFirstSlot(uint64_t v) {
 
   // Way (i): extend our own New-View certificate; no carry needed (Case 1).
   const bool byzantine_suppress = adversary_.fault == Fault::kTailFork ||
-                                  adversary_.fault == Fault::kRollbackAttack;
+                                  adversary_.Equivocates(Now());
   if (st.formed_nv && !byzantine_suppress &&
       !(st.formed_nv->block_id() < high_cert_.block_id())) {
     const BlockPtr parent = store_.GetOrNull(st.formed_nv->block_hash());
@@ -407,7 +407,9 @@ void HotStuff1SlottedReplica::ApplySpeculation(const Certificate& justify,
   if (ledger_.rollback_events() != rollbacks_before) {
     ++metrics_.rollback_events;
     metrics_.blocks_rolled_back += out.blocks_rolled_back;
-    if (oracle_) oracle_->OnRollback(id_, out.blocks_rolled_back);
+    if (oracle_) {
+      oracle_->OnRollback(id_, out.blocks_rolled_back, certified->id().view);
+    }
   }
   for (const SpeculatedBlock& sb : out.executed) {
     ++metrics_.blocks_speculated;

@@ -1,6 +1,7 @@
 #include "runtime/adversary.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -10,14 +11,17 @@ AdversarySpec AdversaryPlan::SpecFor(ReplicaId r) const {
   AdversarySpec spec;
   if (!faulty_mask || !(*faulty_mask)[r]) return spec;
   spec.fault = fault;
-  spec.collude = fault != Fault::kNone && fault != Fault::kCrash;
+  spec.collude = (fault != Fault::kNone && fault != Fault::kCrash) ||
+                 (schedule && schedule->HasAction(kActEquivocate));
   spec.faulty = faulty_mask;
   spec.rollback_victims = rollback_victims;
+  spec.schedule = schedule;
   return spec;
 }
 
 AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
-                                uint32_t rollback_victims) {
+                                uint32_t rollback_victims,
+                                StrategySchedule schedule) {
   HS1_CHECK_LT(count, n);
   AdversaryPlan plan;
   plan.fault = fault;
@@ -30,6 +34,10 @@ AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
     (*mask)[i] = true;
   }
   plan.faulty_mask = std::move(mask);
+  if (!schedule.empty()) {
+    HS1_CHECK_GE(schedule.epoch_length, 1);  // callers resolve before planning
+    plan.schedule = std::make_shared<const StrategySchedule>(std::move(schedule));
+  }
   return plan;
 }
 
@@ -43,6 +51,158 @@ std::vector<bool> RollbackVictimMask(uint32_t n, const std::vector<bool>* faulty
     ++chosen;
   }
   return mask;
+}
+
+namespace {
+
+bool Fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+/// Strict non-negative integer parse of the whole string.
+bool ParseNumber(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool ParseEntry(const std::string& segment, StrategyEntry* out,
+                std::string* error) {
+  const size_t colon = segment.find(':');
+  if (colon == std::string::npos) {
+    return Fail(error, "strategy entry '" + segment + "' lacks ':'");
+  }
+  const std::string range = segment.substr(0, colon);
+  StrategyEntry entry;
+  int64_t from = 0, to = 0;
+  const size_t dash = range.find('-');
+  if (dash == std::string::npos) {
+    if (!ParseNumber(range, &from)) {
+      return Fail(error, "bad epoch '" + range + "'");
+    }
+    entry.from_epoch = static_cast<uint32_t>(from);
+    entry.to_epoch = entry.from_epoch + 1;  // single epoch
+  } else {
+    if (!ParseNumber(range.substr(0, dash), &from)) {
+      return Fail(error, "bad epoch range '" + range + "'");
+    }
+    entry.from_epoch = static_cast<uint32_t>(from);
+    const std::string to_str = range.substr(dash + 1);
+    if (to_str.empty()) {
+      entry.to_epoch = kEpochForever;
+    } else if (ParseNumber(to_str, &to) && to > from) {
+      entry.to_epoch = static_cast<uint32_t>(to);
+    } else {
+      return Fail(error, "bad epoch range '" + range + "' (want to > from)");
+    }
+  }
+  for (const std::string& action : Split(segment.substr(colon + 1), ',')) {
+    if (action == "equivocate") {
+      entry.actions |= kActEquivocate;
+    } else if (action == "withhold") {
+      entry.actions |= kActWithhold;
+    } else if (action == "target-leader") {
+      entry.actions |= kActTargetLeader;
+    } else if (action.rfind("delay=", 0) == 0) {
+      int64_t us = 0;
+      if (!ParseNumber(action.substr(6), &us) || us <= 0) {
+        return Fail(error, "bad '" + action + "' (want delay=<positive us>)");
+      }
+      entry.actions |= kActDelay;
+      entry.delay = us;
+    } else {
+      return Fail(error, "unknown strategy action '" + action +
+                             "' (want equivocate|withhold|delay=<us>|"
+                             "target-leader)");
+    }
+  }
+  if (entry.actions == kActNone) {
+    return Fail(error, "strategy entry '" + segment + "' has no actions");
+  }
+  *out = entry;
+  return true;
+}
+
+}  // namespace
+
+bool ParseStrategySchedule(const std::string& text, StrategySchedule* out,
+                           std::string* error) {
+  StrategySchedule schedule;
+  if (text.empty()) {
+    *out = schedule;
+    return true;
+  }
+  for (const std::string& segment : Split(text, ';')) {
+    if (segment.empty()) continue;
+    int64_t v = 0;
+    if (segment.rfind("epoch=", 0) == 0) {
+      if (!ParseNumber(segment.substr(6), &v) || v <= 0) {
+        return Fail(error, "bad '" + segment + "' (want epoch=<positive us>)");
+      }
+      schedule.epoch_length = v;
+    } else if (segment.rfind("gst=", 0) == 0) {
+      if (!ParseNumber(segment.substr(4), &v)) {
+        return Fail(error, "bad '" + segment + "' (want gst=<us>)");
+      }
+      schedule.declared_gst = v;
+    } else {
+      StrategyEntry entry;
+      if (!ParseEntry(segment, &entry, error)) return false;
+      schedule.entries.push_back(entry);
+    }
+  }
+  if (schedule.entries.empty()) {
+    return Fail(error, "strategy '" + text + "' has no entries");
+  }
+  *out = schedule;
+  return true;
+}
+
+std::string FormatStrategySchedule(const StrategySchedule& schedule) {
+  std::string out;
+  for (const StrategyEntry& e : schedule.entries) {
+    if (!out.empty()) out += ";";
+    out += std::to_string(e.from_epoch);
+    if (e.to_epoch == kEpochForever) {
+      out += "-";
+    } else if (e.to_epoch != e.from_epoch + 1) {
+      out += "-" + std::to_string(e.to_epoch);
+    }
+    out += ":";
+    bool first = true;
+    const auto add = [&](const std::string& s) {
+      if (!first) out += ",";
+      out += s;
+      first = false;
+    };
+    if (e.actions & kActEquivocate) add("equivocate");
+    if (e.actions & kActWithhold) add("withhold");
+    if (e.actions & kActDelay) add("delay=" + std::to_string(e.delay));
+    if (e.actions & kActTargetLeader) add("target-leader");
+  }
+  if (schedule.epoch_length > 0) {
+    out += ";epoch=" + std::to_string(schedule.epoch_length);
+  }
+  if (schedule.declared_gst != StrategySchedule::kGstAuto) {
+    out += ";gst=" + std::to_string(schedule.declared_gst);
+  }
+  return out;
 }
 
 }  // namespace hotstuff1

@@ -1,9 +1,12 @@
-// Helpers for placing Byzantine/crash faults across a replica set.
+// Helpers for placing Byzantine/crash faults across a replica set, plus the
+// composable per-epoch strategy-schedule library (parse/format and plan
+// threading; the primitive semantics live in consensus/config.h).
 
 #ifndef HOTSTUFF1_RUNTIME_ADVERSARY_H_
 #define HOTSTUFF1_RUNTIME_ADVERSARY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "consensus/config.h"
@@ -20,6 +23,9 @@ struct AdversaryPlan {
   std::vector<ReplicaId> members;
   std::shared_ptr<const std::vector<bool>> faulty_mask;
   uint32_t rollback_victims = 0;
+  /// Resolved strategy schedule shared by every coalition member (null when
+  /// the run uses only a legacy fixed fault).
+  std::shared_ptr<const StrategySchedule> schedule;
 
   /// Per-replica spec (kNone for honest replicas).
   AdversarySpec SpecFor(ReplicaId r) const;
@@ -31,8 +37,12 @@ struct AdversaryPlan {
 /// subset S of correct replicas with |S| <= f — any more and the doomed
 /// branch could gather an n-f speculative client quorum, which would break
 /// client safety (Cor. B.10) rather than model the paper's adversary.
+/// `schedule` must be resolved (epoch_length > 0) or empty; a schedule with
+/// an equivocate entry turns collusion on for the coalition (the conflicting
+/// branch needs the coalition's votes, exactly as under kRollbackAttack).
 AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
-                                uint32_t rollback_victims = 0);
+                                uint32_t rollback_victims = 0,
+                                StrategySchedule schedule = {});
 
 /// The designated victim set of the §7.3 rollback attack: the first
 /// `victims` correct replicas in id order. mask[r] is true iff r is a
@@ -43,6 +53,31 @@ AdversaryPlan MakeAdversaryPlan(uint32_t n, Fault fault, uint32_t count,
 /// `faulty` may be null (no replica is faulty).
 std::vector<bool> RollbackVictimMask(uint32_t n, const std::vector<bool>* faulty,
                                      uint32_t victims);
+
+// --- strategy-schedule text form ---------------------------------------------
+// Grammar (the --strategy flag; see docs/scenario-authoring.md):
+//
+//   schedule  := segment (';' segment)*
+//   segment   := entry | "epoch=" <us> | "gst=" <us>
+//   entry     := range ':' action (',' action)*
+//   range     := <from> | <from> '-' | <from> '-' <to>      (to exclusive,
+//                "<from>-" = open-ended)
+//   action    := "equivocate" | "withhold" | "delay=" <us> | "target-leader"
+//
+// Examples: "0-:withhold"            withhold forever
+//           "1-3:delay=5000;gst=90000"  5ms extra delay in epochs 1-2,
+//                                       declared GST at 90ms
+//
+// Parse and Format round-trip: Parse(Format(s)) == s for any valid schedule.
+
+/// Parses the grammar above into `out`. Returns false (and fills `error`
+/// when non-null) on malformed input. An empty string parses to an empty
+/// schedule.
+bool ParseStrategySchedule(const std::string& text, StrategySchedule* out,
+                           std::string* error = nullptr);
+
+/// Canonical text form of a schedule ("" for an empty one).
+std::string FormatStrategySchedule(const StrategySchedule& schedule);
 
 }  // namespace hotstuff1
 

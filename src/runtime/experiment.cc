@@ -9,6 +9,7 @@
 #include "core/hotstuff1_basic.h"
 #include "core/hotstuff1_slotted.h"
 #include "core/hotstuff1_streamlined.h"
+#include "runtime/liveness.h"
 #include "runtime/oracle.h"
 
 namespace hotstuff1 {
@@ -68,6 +69,11 @@ std::string DescribeConfig(const ExperimentConfig& config) {
   out += " fault=" + std::to_string(static_cast<int>(config.fault));
   out += " faulty=" + std::to_string(config.num_faulty);
   out += " victims=" + std::to_string(config.rollback_victims);
+  if (!config.strategy.empty()) {
+    // As typed on the command line (epoch_length left unresolved): the line
+    // is a repro, so it must match the flag that produced it.
+    out += " strategy=" + FormatStrategySchedule(config.strategy);
+  }
   out += " bw=" +
          std::to_string(static_cast<long long>(config.bandwidth_bytes_per_us));
   out += " groups=" + std::to_string(config.client_groups);
@@ -202,9 +208,21 @@ void Experiment::Setup() {
   cc.speculation_enabled = config_.speculation_enabled;
   cc.trusted_leader_enabled = config_.trusted_leader_enabled;
   cc.test_break_safety = config_.test_break_safety;
+  cc.test_break_liveness = config_.test_break_liveness;
 
+  StrategySchedule schedule = config_.strategy;
+  if (!schedule.empty() && schedule.epoch_length <= 0) {
+    // Auto epoch: one pacemaker epoch (f+1 views) of wall-clock time.
+    schedule.epoch_length = static_cast<SimTime>(f + 1) * config_.view_timer;
+  }
   plan_ = MakeAdversaryPlan(n, config_.fault, config_.num_faulty,
-                            config_.rollback_victims);
+                            config_.rollback_victims, std::move(schedule));
+
+  // The event cap needs the serial tick boundary for exact accounting, so
+  // the parallel executor silently pins itself to tick-parallel while a cap
+  // is set — visible here instead of silent (EmitTables / RunScenario warn).
+  cap_parallelism_degraded_ =
+      config_.event_cap > 0 && config_.sim_jobs > 1 && lookahead_window > 0;
 
   if (config_.oracle_enabled) {
     InvariantOracle::Setup os;
@@ -212,10 +230,62 @@ void Experiment::Setup() {
     os.fault = config_.fault;
     os.rollback_victims = plan_.rollback_victims;  // post-clamp
     os.faulty_mask = plan_.faulty_mask;
+    os.schedule = plan_.schedule;
     os.seed = config_.seed;
     os.config_summary = DescribeConfig(config_);
     oracle_ = std::make_unique<InvariantOracle>(sim_.get(), std::move(os));
     clients_->SetOracle(oracle_.get());
+
+    LivenessOracle::Setup ls;
+    ls.n = n;
+    ls.faulty_mask = plan_.faulty_mask;
+    ls.gst = plan_.schedule ? plan_.schedule->ResolvedGst() : 0;
+    ls.k = config_.liveness_k;
+    ls.grace = config_.liveness_grace;
+    ls.view_timer = config_.view_timer;
+    ls.seed = config_.seed;
+    ls.config_summary = DescribeConfig(config_);
+    liveness_ = std::make_unique<LivenessOracle>(sim_.get(), std::move(ls));
+    net_->SetGstCallback([this]() { liveness_->OnGstReached(); });
+  }
+
+  // GST barrier event: scheduled whenever the schedule promises a concrete
+  // stabilization time, independent of the oracle toggle (the notification
+  // is a no-op without a registered callback), so enabling the oracle never
+  // changes the event stream it observes.
+  const SimTime gst = plan_.schedule ? plan_.schedule->ResolvedGst() : 0;
+  if (gst > 0 && gst < StrategySchedule::kGstNever) {
+    sim_->At(gst, [this]() { net_->NotifyGstReached(); });
+  }
+
+  // kActDelay entries are realized as Network fault rules on the coalition's
+  // outbound traffic, installed/removed by barrier (kShardSerial) events at
+  // the entry's epoch boundaries. FaultRule delays are >= 0, so the
+  // lookahead horizon derived above stays valid for the whole run.
+  if (plan_.schedule && plan_.schedule->HasAction(kActDelay)) {
+    std::vector<bool> from(n, false);
+    for (ReplicaId r : plan_.members) from[r] = true;
+    const std::vector<bool> to(n, true);
+    for (const StrategyEntry& e : plan_.schedule->entries) {
+      if (!(e.actions & kActDelay)) continue;
+      const SimTime start =
+          static_cast<SimTime>(e.from_epoch) * plan_.schedule->epoch_length;
+      auto rule_id = std::make_shared<int>(-1);
+      sim_->At(start, [this, from, to, delay = e.delay, rule_id]() {
+        sim::FaultRule rule;
+        rule.from_match = from;
+        rule.to_match = to;
+        rule.extra_delay = delay;
+        *rule_id = net_->AddRule(std::move(rule));
+      });
+      if (e.to_epoch != kEpochForever) {
+        const SimTime end =
+            static_cast<SimTime>(e.to_epoch) * plan_.schedule->epoch_length;
+        sim_->At(end, [this, rule_id]() {
+          if (*rule_id >= 0) net_->RemoveRule(*rule_id);
+        });
+      }
+    }
   }
 
   replicas_.reserve(n);
@@ -224,11 +294,12 @@ void Experiment::Setup() {
     state.Reserve(1 << 16);
     replicas_.push_back(MakeReplica(id, cc, std::move(state)));
     replicas_.back()->SetOracle(oracle_.get());
+    replicas_.back()->SetLivenessOracle(liveness_.get());
     const AdversarySpec spec = plan_.SpecFor(id);
     if (spec.fault == Fault::kCrash) {
       net_->Crash(id);
       replicas_.back()->SetCrashed();
-    } else if (spec.fault != Fault::kNone) {
+    } else if (spec.fault != Fault::kNone || spec.schedule) {
       replicas_.back()->SetAdversary(spec);
     }
   }
@@ -284,6 +355,12 @@ ExperimentResult Experiment::Run() {
     res.oracle_violations = oracle_->violations();
     res.oracle_first_violation = oracle_->FirstDiagnostic();
   }
+  if (liveness_) {
+    liveness_->Finalize(config_.warmup + config_.duration, sim_->cap_hit());
+    res.liveness_violations = liveness_->violations();
+    res.liveness_first_violation = liveness_->FirstDiagnostic();
+  }
+  res.cap_parallelism_degraded = cap_parallelism_degraded_;
   res.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall_start)
                     .count();
@@ -333,6 +410,12 @@ ExperimentResult RunPaperPoint(const ExperimentConfig& config) {
   if (result.oracle_first_violation.empty()) {
     result.oracle_first_violation = lat.oracle_first_violation;
   }
+  result.liveness_violations += lat.liveness_violations;
+  if (result.liveness_first_violation.empty()) {
+    result.liveness_first_violation = lat.liveness_first_violation;
+  }
+  result.cap_parallelism_degraded =
+      result.cap_parallelism_degraded || lat.cap_parallelism_degraded;
   result.wall_ms += lat.wall_ms;
   return result;
 }

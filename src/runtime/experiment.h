@@ -20,6 +20,7 @@
 namespace hotstuff1 {
 
 class InvariantOracle;  // runtime/oracle.h
+class LivenessOracle;   // runtime/liveness.h
 
 enum class ProtocolKind {
   kHotStuff = 0,
@@ -90,6 +91,17 @@ struct ExperimentConfig {
   uint32_t num_faulty = 0;
   uint32_t rollback_victims = 0;
 
+  // Composable per-epoch adversary strategy for the coalition (--strategy;
+  // grammar in runtime/adversary.h). Generalizes the fixed Fault attacks:
+  // the same `num_faulty` replicas follow this schedule. epoch_length 0 is
+  // resolved to (f+1) * view_timer at setup.
+  StrategySchedule strategy;
+
+  // Liveness-oracle thresholds (runtime/liveness.h); 0 = auto. Only read
+  // when oracle_enabled.
+  uint64_t liveness_k = 0;
+  SimTime liveness_grace = 0;
+
   // Message-delay injection (Fig. 9): extra one-way delay on traffic to or
   // from the last `num_impaired` replicas.
   SimTime inject_delay = 0;
@@ -135,6 +147,10 @@ struct ExperimentConfig {
   // injects an equivocation-commit bug into the streamlined HotStuff-1 core
   // so tests can prove the oracle actually fires. Never enable outside tests.
   bool test_break_safety = false;
+  // Test-only mutation hook: stalls the pacemaker's epoch synchronization
+  // after epoch 0 (see ConsensusConfig::test_break_liveness) to prove the
+  // liveness oracle's progress monitor fires. Never enable outside tests.
+  bool test_break_liveness = false;
 };
 
 struct ExperimentResult {
@@ -169,6 +185,16 @@ struct ExperimentResult {
   // the run is clean). Deterministic: identical at any jobs/sim-jobs/lookahead.
   uint64_t oracle_violations = 0;
   std::string oracle_first_violation;
+  // Online liveness-oracle verdict (runtime/liveness.h), same determinism
+  // contract as the safety oracle's fields above.
+  uint64_t liveness_violations = 0;
+  std::string liveness_first_violation;
+  // True when event_cap forced the parallel executor to silently fall back
+  // to tick-parallel scheduling (cap accounting needs the serial tick
+  // boundary, so windowed lookahead is disabled while a cap is set).
+  // Executor-shape-dependent by definition: excluded from CSV/JSON emitters
+  // and from result-equality checks, surfaced as a visible warning instead.
+  bool cap_parallelism_degraded = false;
   // Real (wall-clock) milliseconds spent executing the run. The only
   // nondeterministic field; excluded from every deterministic emitter, used
   // by the par_speedup scenario.
@@ -195,6 +221,8 @@ class Experiment {
   const ExperimentConfig& config() const { return config_; }
   /// Null unless config().oracle_enabled.
   InvariantOracle* oracle() { return oracle_.get(); }
+  /// Null unless config().oracle_enabled.
+  LivenessOracle* liveness_oracle() { return liveness_.get(); }
 
   /// Committed-prefix agreement across correct replicas (Theorem B.5 check).
   bool CheckSafety() const;
@@ -211,6 +239,8 @@ class Experiment {
   std::unique_ptr<Workload> workload_;
   std::unique_ptr<ClientPool> clients_;
   std::unique_ptr<InvariantOracle> oracle_;
+  std::unique_ptr<LivenessOracle> liveness_;
+  bool cap_parallelism_degraded_ = false;
   AdversaryPlan plan_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
 };

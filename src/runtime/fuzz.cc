@@ -54,7 +54,90 @@ ExperimentConfig FuzzConfigFromSeed(uint64_t seed) {
   cfg.warmup = Millis(40);
   cfg.seed = seed;
   cfg.oracle_enabled = true;
+
+  // Half the Byzantine coalitions additionally follow a bounded strategy
+  // schedule. Crash coalitions are excluded (a crashed replica has no
+  // transport to script) and so is the equivocate primitive (it designates
+  // rollback victims, which these faults do not configure — the dedicated
+  // rollback tuples already cover equivocation). The entry is bounded so
+  // the auto-derived GST is finite and the liveness monitor arms; with the
+  // coalition <= f the run must stay clean under BOTH oracles. Drawn last
+  // so pre-existing seeds keep their (protocol, n, fault, ...) tuples.
+  if (cfg.fault != Fault::kNone && cfg.fault != Fault::kCrash &&
+      rng.NextBool(0.5)) {
+    StrategyEntry entry;
+    entry.from_epoch = static_cast<uint32_t>(rng.NextBounded(2));
+    entry.to_epoch =
+        entry.from_epoch + 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    constexpr uint32_t kDrawable[] = {kActWithhold, kActDelay,
+                                      kActTargetLeader};
+    entry.actions = kDrawable[rng.NextBounded(3)];
+    if (entry.actions & kActDelay) {
+      // 0.2ms..2ms of extra one-way delay: disruptive at fuzz bandwidths
+      // without swamping the short fuzz windows.
+      entry.delay = 200 + static_cast<SimTime>(rng.NextBounded(1800));
+    }
+    cfg.strategy.entries.push_back(entry);
+  }
   return cfg;
+}
+
+OverThresholdCase OverThresholdCaseFromSeed(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x07e12ULL);
+  constexpr ProtocolKind kProtocols[] = {
+      ProtocolKind::kHotStuff, ProtocolKind::kHotStuff2,
+      ProtocolKind::kHotStuff1Basic, ProtocolKind::kHotStuff1,
+      ProtocolKind::kHotStuff1Slotted};
+
+  OverThresholdCase c;
+  ExperimentConfig& cfg = c.config;
+  cfg.n = 7;  // f = 2: coalition 3..4 exceeds the fault bound
+  const uint32_t f = (cfg.n - 1) / 3;
+  cfg.batch_size = 10;
+  cfg.num_clients = 2 * cfg.batch_size;
+  cfg.duration = Millis(150);
+  cfg.warmup = Millis(40);
+  cfg.seed = seed + 1;
+  cfg.oracle_enabled = true;
+
+  if (seed < 10) {
+    // Tuples 0..4: crash f+1..2f replicas. Tuples 5..9: the same coalition
+    // stays up but withholds every outbound message past its own declared
+    // GST. Either way the pacemaker's n-f Wish quorum is unreachable, no
+    // view ever starts, and only the liveness oracle's end-of-run silence
+    // check can see the stall (there are no view events to judge online).
+    cfg.protocol = kProtocols[seed % 5];
+    cfg.num_faulty = f + 1 + static_cast<uint32_t>(rng.NextBounded(f));
+    if (seed < 5) {
+      cfg.fault = Fault::kCrash;
+      c.label = std::string(ProtocolName(cfg.protocol)) + " crash>f";
+    } else {
+      cfg.strategy.entries.push_back(
+          {/*from_epoch=*/0, kEpochForever, kActWithhold, /*delay=*/0});
+      cfg.strategy.declared_gst = Millis(30);
+      c.label = std::string(ProtocolName(cfg.protocol)) + " withhold>f";
+    }
+    // The auto grace (>= 500ms) is sized for long runs; these windows end at
+    // 190ms, so bound the silence threshold explicitly.
+    cfg.liveness_grace = Millis(60);
+    c.expect_liveness = true;
+  } else {
+    // Tuple 10: the injected equivocation-commit bug under a live rollback
+    // attack — the safety oracle's commit-conflict lattice must fire while
+    // the liveness oracle stays silent (commits keep flowing throughout).
+    cfg.protocol = ProtocolKind::kHotStuff1;
+    cfg.fault = Fault::kRollbackAttack;
+    cfg.num_faulty = f;
+    cfg.rollback_victims = f;
+    cfg.duration = Millis(400);
+    cfg.warmup = Millis(100);
+    cfg.num_clients = 80;
+    cfg.seed = 3;
+    cfg.test_break_safety = true;
+    c.label = "HotStuff-1 break-safety";
+    c.expect_safety = true;
+  }
+  return c;
 }
 
 }  // namespace hotstuff1

@@ -16,11 +16,14 @@ InvariantOracle::InvariantOracle(sim::Simulator* sim, Setup setup)
 
   // Same designation the attacking leader uses to split its equivocating
   // proposals — one helper, consumed by both sides (RollbackVictimMask).
-  victim_mask_ =
-      setup_.fault == Fault::kRollbackAttack
-          ? RollbackVictimMask(setup_.n, setup_.faulty_mask.get(),
-                               setup_.rollback_victims)
-          : std::vector<bool>(setup_.n, false);
+  const bool equivocates =
+      setup_.fault == Fault::kRollbackAttack ||
+      (setup_.schedule && setup_.schedule->HasAction(kActEquivocate));
+  victim_mask_ = equivocates
+                     ? RollbackVictimMask(setup_.n, setup_.faulty_mask.get(),
+                                          setup_.rollback_victims)
+                     : std::vector<bool>(setup_.n, false);
+  misled_views_.resize(setup_.n);
 }
 
 void InvariantOracle::Report(const char* invariant, const std::string& detail) {
@@ -167,18 +170,55 @@ void InvariantOracle::OnSpeculativeResponse(ReplicaId replica,
   entry.spec_responses.emplace_back(replica, block->hash());
 }
 
-void InvariantOracle::OnRollback(ReplicaId replica, uint64_t blocks_rolled_back) {
+void InvariantOracle::OnEquivocationSent(ReplicaId leader, uint64_t view) {
+  sim_->SyncShared();
+  ++events_;
+  (void)leader;  // any coalition leader misleads the same designated set
+  for (ReplicaId r = 0; r < setup_.n; ++r) {
+    if (IsRollbackVictim(r)) misled_views_[r].push_back(view);
+  }
+}
+
+void InvariantOracle::OnRollback(ReplicaId replica, uint64_t blocks_rolled_back,
+                                 uint64_t conflict_view) {
   sim_->SyncShared();
   ++events_;
   if (IsFaulty(replica)) return;
-  if (setup_.fault != Fault::kRollbackAttack || !IsRollbackVictim(replica)) {
+  const std::string prefix = "replica " + std::to_string(replica) +
+                             " rolled back " +
+                             std::to_string(blocks_rolled_back) +
+                             " speculative block(s) at conflicting view " +
+                             std::to_string(conflict_view) + " ";
+  if (!IsRollbackVictim(replica)) {
     Report("unexpected-rollback",
-           "replica " + std::to_string(replica) + " rolled back " +
-               std::to_string(blocks_rolled_back) + " speculative block(s) " +
-               (setup_.fault == Fault::kRollbackAttack
-                    ? "but is not a designated victim"
-                    : "without a rollback attack in the configuration"));
+           prefix + (victim_mask_.empty() ||
+                             std::find(victim_mask_.begin(), victim_mask_.end(),
+                                       true) == victim_mask_.end()
+                         ? "without an equivocation attack in the configuration"
+                         : "but is not a designated victim"));
+    return;
   }
+  // Def. 4.7 legality: the rollback must be justified by an outstanding
+  // misleading campaign at most two epochs older than the conflicting view
+  // (see the header). Campaigns newer than the conflict are ongoing and also
+  // legal. The justifying record is consumed, oldest first, so one campaign
+  // cannot launder an unrelated buggy rollback later in the run.
+  std::vector<uint64_t>& records = misled_views_[replica];
+  const uint64_t conflict_epoch = EpochIndex(conflict_view);
+  auto it = std::find_if(records.begin(), records.end(), [&](uint64_t m) {
+    return EpochIndex(m) + 2 >= conflict_epoch;
+  });
+  if (it == records.end()) {
+    Report("unexpected-rollback",
+           prefix + (records.empty()
+                         ? "with no outstanding misleading campaign"
+                         : "but every outstanding campaign is stale (newest "
+                           "at view " +
+                               std::to_string(records.back()) +
+                               ", >2 epochs before the conflict)"));
+    return;
+  }
+  records.erase(it);
 }
 
 void InvariantOracle::OnClientAccept(uint64_t txn_id, const Hash256& block_hash,

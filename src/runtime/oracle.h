@@ -66,6 +66,9 @@ class InvariantOracle {
     Fault fault = Fault::kNone;
     uint32_t rollback_victims = 0;
     std::shared_ptr<const std::vector<bool>> faulty_mask;  // null = all correct
+    /// Resolved strategy schedule, when the run uses one; an equivocate
+    /// entry designates rollback victims exactly like kRollbackAttack.
+    std::shared_ptr<const StrategySchedule> schedule;
     uint64_t seed = 0;
     std::string config_summary;  // one-line repro, e.g. "protocol=... n=..."
   };
@@ -80,7 +83,19 @@ class InvariantOracle {
   void OnCertificateFormed(ReplicaId replica, const Certificate& cert);
   void OnBlockCommitted(ReplicaId replica, const BlockPtr& block);
   void OnSpeculativeResponse(ReplicaId replica, const BlockPtr& block);
-  void OnRollback(ReplicaId replica, uint64_t blocks_rolled_back);
+  /// The attacking leader split proposals at `view`: every designated victim
+  /// now has an outstanding misleading campaign at that view. Rollback
+  /// legality (Def. 4.7) is judged against these records.
+  void OnEquivocationSent(ReplicaId leader, uint64_t view);
+  /// `conflict_view` is the chain view of the committed block that displaced
+  /// the speculation (NOT the replica's wall-clock view — a backlogged victim
+  /// may process the conflicting commit arbitrarily late). Legal only for a
+  /// designated victim holding an outstanding campaign record no more than
+  /// two epochs older than the conflicting view: one epoch for the faulty
+  /// leadership window that planted it plus one epoch of fetch/timeout
+  /// recovery slack before honest leaders commit the winning branch.
+  void OnRollback(ReplicaId replica, uint64_t blocks_rolled_back,
+                  uint64_t conflict_view);
   void OnClientAccept(uint64_t txn_id, const Hash256& block_hash, bool speculative);
 
   // --- results (read after the run, off the event loop) ------------------------
@@ -103,6 +118,11 @@ class InvariantOracle {
   }
   bool IsRollbackVictim(ReplicaId r) const {
     return r < victim_mask_.size() && victim_mask_[r];
+  }
+  /// Pacemaker epoch of a view (f+1 consecutive views per epoch).
+  uint64_t EpochIndex(uint64_t view) const {
+    const uint32_t f = setup_.n > 0 ? (setup_.n - 1) / 3 : 0;
+    return view / (f + 1);
   }
   /// Formats, logs and stores one violation with the (config, seed, event)
   /// diagnostic. Deterministic: every input derives from simulation state.
@@ -136,6 +156,10 @@ class InvariantOracle {
   sim::Simulator* sim_;
   Setup setup_;
   std::vector<bool> victim_mask_;
+  /// Outstanding misleading-campaign views per victim, appended by
+  /// OnEquivocationSent and consumed (oldest matching first) when the
+  /// victim's rollback uses them as its Def. 4.7 justification.
+  std::vector<std::vector<uint64_t>> misled_views_;
 
   std::vector<ReplicaState> replicas_;
   std::unordered_map<uint64_t, HeightEntry> heights_;

@@ -68,6 +68,7 @@ enum class RunMode {
 };
 
 struct ScenarioRunOptions;  // sweep_runner.h
+struct SweepPoint;          // defined below ScenarioSpec
 
 /// \brief Declarative description of one benchmark scenario.
 ///
@@ -100,6 +101,17 @@ struct ScenarioSpec {
   /// CI-sized override applied after all axes when running with --smoke.
   /// Null picks the default (short duration/warmup, kSingle measurement).
   std::function<void(ExperimentConfig&)> smoke;
+
+  /// Per-point pass/fail override. When set, RunScenario's exit code comes
+  /// from this instead of the default "any oracle/liveness/safety violation
+  /// fails" rule — for scenarios whose points *expect* a violation
+  /// (fig_liveness's over-threshold rows, the over-threshold fuzz tier).
+  /// Must be pure (runs once per point, in deterministic spec order).
+  std::function<bool(const SweepPoint&, const ExperimentResult&)> point_judge;
+
+  /// Free-form note printed under the scenario's tables (par_speedup uses it
+  /// to annotate single-core hosts where speedup is meaningless).
+  std::string table_note;
 
   /// Escape hatch for scenarios that are not config sweeps (micro-benchmarks):
   /// when set, the sweep machinery is bypassed and this runs instead.

@@ -36,6 +36,13 @@ bool SweepOutcome::AnyCapHit() const {
   return false;
 }
 
+bool SweepOutcome::AnyCapDegraded() const {
+  for (const ExperimentResult& r : results) {
+    if (r.cap_parallelism_degraded) return true;
+  }
+  return false;
+}
+
 uint64_t SweepOutcome::TotalOracleViolations() const {
   uint64_t total = 0;
   for (const ExperimentResult& r : results) total += r.oracle_violations;
@@ -45,6 +52,19 @@ uint64_t SweepOutcome::TotalOracleViolations() const {
 std::string SweepOutcome::FirstOracleDiagnostic() const {
   for (const ExperimentResult& r : results) {
     if (!r.oracle_first_violation.empty()) return r.oracle_first_violation;
+  }
+  return {};
+}
+
+uint64_t SweepOutcome::TotalLivenessViolations() const {
+  uint64_t total = 0;
+  for (const ExperimentResult& r : results) total += r.liveness_violations;
+  return total;
+}
+
+std::string SweepOutcome::FirstLivenessDiagnostic() const {
+  for (const ExperimentResult& r : results) {
+    if (!r.liveness_first_violation.empty()) return r.liveness_first_violation;
   }
   return {};
 }
@@ -124,6 +144,18 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
       for (SweepPoint& p : outcome.points) p.config.client_groups = client_groups_;
     }
   }
+  if (has_strategy_) {
+    // fig_liveness sweeps the strategy (its rows vary the coalition, its
+    // base carries the schedule); the global override must not relabel it.
+    const bool axis_sweeps_strategy =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.strategy != spec.base.strategy;
+                    });
+    if (!axis_sweeps_strategy) {
+      for (SweepPoint& p : outcome.points) p.config.strategy = strategy_;
+    }
+  }
   if (force_oracle_) {
     for (SweepPoint& p : outcome.points) p.config.oracle_enabled = true;
   }
@@ -197,6 +229,12 @@ std::vector<DiagColumn> DiagColumns(const std::vector<MetricSpec>& metrics) {
       {"safety_ok", [](const ExperimentResult& r) { return r.safety_ok ? "1" : "0"; }},
       {"event_cap_hit",
        [](const ExperimentResult& r) { return r.event_cap_hit ? "1" : "0"; }},
+      // liveness_violations sits BEFORE oracle_violations: CI awk gates
+      // address oracle_violations as the last field ($NF).
+      {"liveness_violations",
+       [](const ExperimentResult& r) {
+         return std::to_string(r.liveness_violations);
+       }},
       {"oracle_violations",
        [](const ExperimentResult& r) { return std::to_string(r.oracle_violations); }},
   };
@@ -292,6 +330,20 @@ void EmitTables(const SweepOutcome& outcome, std::ostream& os) {
     }
     if (capped > listed) os << "  ... and " << (capped - listed) << " more\n";
   }
+  // Degraded parallelism is also never silent: an event cap pins the
+  // parallel executor to tick-parallel scheduling, so --sim-jobs > 1 with a
+  // cap runs slower than the flag suggests.
+  size_t degraded = 0;
+  for (const ExperimentResult& r : outcome.results) {
+    degraded += r.cap_parallelism_degraded ? 1 : 0;
+  }
+  if (degraded > 0) {
+    os << "NOTE: " << degraded << " of " << outcome.results.size()
+       << " points ran with an event cap under --sim-jobs > 1; windowed "
+          "lookahead is disabled while a cap is set, so those points fell "
+          "back to tick-parallel scheduling (cap_parallelism_degraded)\n";
+  }
+  if (!spec.table_note.empty()) os << spec.table_note << "\n";
 }
 
 void EmitCsv(const SweepOutcome& outcome, std::ostream& os) {
@@ -349,6 +401,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   SweepRunner runner(options.jobs, options.sim_jobs);
   if (options.has_lookahead) runner.OverrideLookahead(options.lookahead);
   if (options.oracle) runner.ForceOracle();
+  if (options.has_strategy) runner.ForceStrategy(options.strategy);
   if (options.has_arrival) runner.ForceArrival(options.arrival);
   if (options.has_offered_load) runner.ForceOfferedLoad(options.offered_load);
   if (options.client_groups > 0) runner.ForceClientGroups(options.client_groups);
@@ -383,10 +436,36 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
     std::cerr << "warning: scenario '" << spec.name
               << "' hit the simulator event cap; results are truncated\n";
   }
+  if (outcome.AnyCapDegraded()) {
+    std::cerr << "warning: scenario '" << spec.name
+              << "' ran capped points with --sim-jobs > 1; windowed lookahead "
+                 "was disabled for them (cap_parallelism_degraded)\n";
+  }
+  // A scenario whose points *expect* violations judges itself: the exit code
+  // comes from its point_judge, not the blanket any-violation-fails rule.
+  if (spec.point_judge) {
+    int code = 0;
+    for (size_t i = 0; i < outcome.points.size(); ++i) {
+      if (spec.point_judge(outcome.points[i], outcome.results[i])) continue;
+      const SweepPoint& p = outcome.points[i];
+      std::cerr << "JUDGE FAILED in scenario '" << spec.name << "': point ["
+                << (p.table_label.empty() ? "-" : p.table_label) << " | "
+                << (p.row_label.empty() ? "-" : p.row_label) << " | "
+                << (p.col_label.empty() ? "-" : p.col_label) << " | seed "
+                << p.seed << "] did not behave as the scenario expects\n";
+      code = 1;
+    }
+    return code;
+  }
   int code = 0;
   if (const uint64_t v = outcome.TotalOracleViolations(); v > 0) {
     std::cerr << "ORACLE VIOLATION in scenario '" << spec.name << "' (" << v
               << " total): " << outcome.FirstOracleDiagnostic() << "\n";
+    code = 1;
+  }
+  if (const uint64_t v = outcome.TotalLivenessViolations(); v > 0) {
+    std::cerr << "LIVENESS VIOLATION in scenario '" << spec.name << "' (" << v
+              << " total): " << outcome.FirstLivenessDiagnostic() << "\n";
     code = 1;
   }
   if (!outcome.AllSafe()) {

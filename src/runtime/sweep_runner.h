@@ -45,6 +45,11 @@ struct ScenarioRunOptions {
   // Arms the online invariant oracle on every point (--oracle). Scenarios
   // that enable it in their base config (fuzz) run with it regardless.
   bool oracle = false;
+  // Adversary strategy schedule forced onto every point (--strategy; grammar
+  // in runtime/adversary.h). Respect-the-axis: ignored when the scenario
+  // sweeps the strategy itself (fig_liveness does).
+  bool has_strategy = false;
+  StrategySchedule strategy;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
   // Reruns the scenario this many times and reports *median* wall-clock
   // metrics (--repeat). Deterministic metrics are byte-identical across the
@@ -72,10 +77,16 @@ struct SweepOutcome {
 
   bool AllSafe() const;
   bool AnyCapHit() const;
+  /// Any point silently fell back to tick-parallel because an event cap was
+  /// set under --sim-jobs > 1 (ExperimentResult::cap_parallelism_degraded).
+  bool AnyCapDegraded() const;
   /// Sum of invariant-oracle violations across points (0 when disabled).
   uint64_t TotalOracleViolations() const;
   /// First oracle diagnostic in spec order; empty when clean.
   std::string FirstOracleDiagnostic() const;
+  /// Liveness-oracle counterparts of the two above.
+  uint64_t TotalLivenessViolations() const;
+  std::string FirstLivenessDiagnostic() const;
 };
 
 /// \brief Parallel executor for scenario sweeps.
@@ -134,6 +145,14 @@ class SweepRunner {
     return *this;
   }
 
+  /// Forces an adversary strategy schedule onto every point (respect-the-axis
+  /// rule: ignored for scenarios that sweep the strategy themselves).
+  SweepRunner& ForceStrategy(const StrategySchedule& strategy) {
+    strategy_ = strategy;
+    has_strategy_ = true;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
@@ -150,6 +169,8 @@ class SweepRunner {
   uint32_t client_groups_ = 0;
   bool has_cert_scheme_ = false;
   CertScheme cert_scheme_ = CertScheme::kMultisigVector;
+  bool has_strategy_ = false;
+  StrategySchedule strategy_;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

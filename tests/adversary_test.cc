@@ -73,5 +73,107 @@ TEST(AdversaryPlanTest, SpecForHonestReplicaIsInert) {
   EXPECT_EQ(honest.rollback_victims, 0u);
 }
 
+// --- strategy-schedule text form ---------------------------------------------
+
+TEST(StrategyScheduleTest, ParsesEntriesSegmentsAndRanges) {
+  StrategySchedule s;
+  std::string error;
+  ASSERT_TRUE(ParseStrategySchedule(
+      "0:withhold;1-3:delay=5000,target-leader;4-:equivocate;epoch=20000;"
+      "gst=90000",
+      &s, &error))
+      << error;
+  ASSERT_EQ(s.entries.size(), 3u);
+  EXPECT_EQ(s.entries[0].from_epoch, 0u);
+  EXPECT_EQ(s.entries[0].to_epoch, 1u);  // bare "<from>" covers one epoch
+  EXPECT_EQ(s.entries[0].actions, kActWithhold);
+  EXPECT_EQ(s.entries[1].from_epoch, 1u);
+  EXPECT_EQ(s.entries[1].to_epoch, 3u);  // exclusive
+  EXPECT_EQ(s.entries[1].actions, kActDelay | kActTargetLeader);
+  EXPECT_EQ(s.entries[1].delay, 5000);
+  EXPECT_EQ(s.entries[2].to_epoch, kEpochForever);
+  EXPECT_EQ(s.entries[2].actions, kActEquivocate);
+  EXPECT_EQ(s.epoch_length, 20000);
+  EXPECT_EQ(s.declared_gst, 90000);
+}
+
+TEST(StrategyScheduleTest, FormatParseRoundTrips) {
+  for (const char* text :
+       {"", "0-:withhold", "1-3:delay=5000;gst=90000",
+        "0:equivocate;2-4:withhold,target-leader;epoch=30000",
+        "0-:delay=250;gst=0"}) {
+    StrategySchedule s;
+    std::string error;
+    ASSERT_TRUE(ParseStrategySchedule(text, &s, &error)) << text << ": " << error;
+    StrategySchedule reparsed;
+    ASSERT_TRUE(ParseStrategySchedule(FormatStrategySchedule(s), &reparsed,
+                                      &error))
+        << FormatStrategySchedule(s) << ": " << error;
+    EXPECT_EQ(s, reparsed) << text;
+  }
+}
+
+TEST(StrategyScheduleTest, RejectsMalformedInput) {
+  StrategySchedule s;
+  for (const char* bad :
+       {":withhold",      // missing range
+        "0-",             // missing actions
+        "0:jam",          // unknown action
+        "3-1:withhold",   // inverted range
+        "0:delay",        // delay without duration
+        "0:delay=x",      // non-numeric duration
+        "epoch=",         // missing value
+        "gst=-5",         // negative
+        "epoch=1000"}) {  // segments only, no entries
+    std::string error;
+    EXPECT_FALSE(ParseStrategySchedule(bad, &s, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(StrategyScheduleTest, ActionsAtFollowsEpochBoundaries) {
+  StrategySchedule s;
+  ASSERT_TRUE(ParseStrategySchedule("1-3:withhold;2:delay=100;epoch=1000", &s));
+  EXPECT_EQ(s.ActionsAt(0), kActNone);          // epoch 0
+  EXPECT_EQ(s.ActionsAt(999), kActNone);
+  EXPECT_EQ(s.ActionsAt(1000), kActWithhold);   // epoch 1
+  EXPECT_EQ(s.ActionsAt(2500), kActWithhold | kActDelay);  // overlap in 2
+  EXPECT_EQ(s.ActionsAt(3000), kActNone);       // to_epoch is exclusive
+}
+
+TEST(StrategyScheduleTest, ResolvedGstPrefersDeclaredThenLastInterference) {
+  StrategySchedule s;
+  ASSERT_TRUE(ParseStrategySchedule("1-3:withhold;epoch=1000", &s));
+  EXPECT_EQ(s.ResolvedGst(), 3000);  // end of the last interfering entry
+  ASSERT_TRUE(ParseStrategySchedule("1-3:withhold;epoch=1000;gst=500", &s));
+  EXPECT_EQ(s.ResolvedGst(), 500);   // explicit declaration wins
+  // Open-ended interference with no declaration promises nothing.
+  ASSERT_TRUE(ParseStrategySchedule("0-:withhold;epoch=1000", &s));
+  EXPECT_EQ(s.ResolvedGst(), StrategySchedule::kGstNever);
+  // Equivocation is not message interference: the §7.3 campaign does not
+  // delay stabilization by itself.
+  ASSERT_TRUE(ParseStrategySchedule("0-:equivocate;epoch=1000", &s));
+  EXPECT_EQ(s.ResolvedGst(), 0);
+}
+
+TEST(StrategyScheduleTest, PlanThreadsScheduleAndEquivocateTurnsCollusionOn) {
+  StrategySchedule s;
+  ASSERT_TRUE(ParseStrategySchedule("0-:equivocate;epoch=1000", &s));
+  const AdversaryPlan plan =
+      MakeAdversaryPlan(7, Fault::kNone, 2, /*rollback_victims=*/2, s);
+  ASSERT_NE(plan.schedule, nullptr);
+  const AdversarySpec spec = plan.SpecFor(1);
+  EXPECT_EQ(spec.schedule, plan.schedule);  // shared, not copied
+  EXPECT_TRUE(spec.collude);                // the campaign needs the coalition
+  EXPECT_TRUE(spec.Equivocates(/*now=*/0));
+  // A pure-withhold schedule does not collude and never equivocates.
+  ASSERT_TRUE(ParseStrategySchedule("0-:withhold;epoch=1000", &s));
+  const AdversaryPlan w = MakeAdversaryPlan(7, Fault::kNone, 2, 0, s);
+  EXPECT_FALSE(w.SpecFor(1).collude);
+  EXPECT_FALSE(w.SpecFor(1).Equivocates(0));
+  EXPECT_TRUE(w.SpecFor(1).Withholds(0));
+  EXPECT_FALSE(w.SpecFor(0).Withholds(0));  // honest replicas are inert
+}
+
 }  // namespace
 }  // namespace hotstuff1

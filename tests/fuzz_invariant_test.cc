@@ -30,6 +30,10 @@ TEST_P(FuzzInvariant, RandomizedAdversaryRunIsOracleClean) {
 
   EXPECT_TRUE(res.safety_ok);
   EXPECT_EQ(res.oracle_violations, 0u) << res.oracle_first_violation;
+  // Within the f fault bound every drawn tuple — including the seeds that
+  // attach a withhold/delay/target-leader strategy schedule — must also
+  // satisfy the Thm B.8 progress promise.
+  EXPECT_EQ(res.liveness_violations, 0u) << res.liveness_first_violation;
   // The oracle must actually be observing, not silently unplugged: any run
   // enters views and commits blocks, so events must have flowed.
   ASSERT_NE(exp.oracle(), nullptr);

@@ -239,5 +239,49 @@ TEST(EventCapVisibilityTest, TablesWarnWhenAPointHitsTheCap) {
       << os.str();
 }
 
+// A cap under --sim-jobs > 1 silently pinned the executor to tick-parallel
+// scheduling before the cap_parallelism_degraded diagnostic existed; now the
+// fallback must be reported on the result and in the tables.
+TEST(EventCapVisibilityTest, CappedParallelRunReportsDegradedParallelism) {
+  ExperimentConfig cfg = TinyConfig();
+  cfg.event_cap = 200;
+  cfg.sim_jobs = 4;  // auto lookahead resolves to a real window on the LAN
+  EXPECT_TRUE(RunExperiment(cfg).cap_parallelism_degraded);
+
+  cfg.sim_jobs = 1;  // a serial run has no parallelism to lose
+  EXPECT_FALSE(RunExperiment(cfg).cap_parallelism_degraded);
+
+  cfg.sim_jobs = 4;
+  cfg.event_cap = 0;  // no cap, no fallback
+  EXPECT_FALSE(RunExperiment(cfg).cap_parallelism_degraded);
+
+  cfg.event_cap = 200;
+  cfg.lookahead = {LookaheadMode::kOff, 0};  // nothing to degrade
+  EXPECT_FALSE(RunExperiment(cfg).cap_parallelism_degraded);
+}
+
+TEST(EventCapVisibilityTest, TablesNoteDegradedParallelism) {
+  ScenarioSpec spec;
+  spec.name = "cap_degrade_probe";
+  spec.title = "cap degrade probe";
+  spec.row_name = "x";
+  spec.base = TinyConfig();
+  spec.base.event_cap = 200;
+  spec.base.sim_jobs = 4;
+  spec.rows.push_back({"only", nullptr});
+  spec.metrics = {ThroughputMetric()};
+  spec.mode = RunMode::kSingle;
+
+  SweepRunner runner(1);
+  const SweepOutcome outcome = runner.Run(spec);
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_TRUE(outcome.results[0].cap_parallelism_degraded);
+  EXPECT_TRUE(outcome.AnyCapDegraded());
+  std::ostringstream os;
+  EmitTables(outcome, os);
+  EXPECT_NE(os.str().find("cap_parallelism_degraded"), std::string::npos)
+      << os.str();
+}
+
 }  // namespace
 }  // namespace hotstuff1

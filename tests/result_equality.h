@@ -37,10 +37,15 @@ inline void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& 
   EXPECT_EQ(a.safety_ok, b.safety_ok);
   EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
   EXPECT_EQ(a.oracle_violations, b.oracle_violations);
+  EXPECT_EQ(a.liveness_violations, b.liveness_violations);
   // Diagnostics embed event counters and virtual timestamps, so equality
-  // here proves the oracle observed the *same* serial event order under
+  // here proves the oracles observed the *same* serial event order under
   // every executor configuration, not just the same verdict.
   EXPECT_EQ(a.oracle_first_violation, b.oracle_first_violation);
+  EXPECT_EQ(a.liveness_first_violation, b.liveness_first_violation);
+  // cap_parallelism_degraded is deliberately NOT compared: it reports a
+  // property of the executor shape (event cap + sim_jobs > 1), not of the
+  // simulated run.
 }
 
 }  // namespace hotstuff1

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "runtime/adversary.h"
 #include "runtime/experiment.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_runner.h"
@@ -35,6 +36,17 @@ void PrintUsage(std::FILE* out) {
   --fault=none|crash|slow|tailfork|rollback
   --faulty=<count>              (default 0)
   --victims=<rollback victims>  (default f)
+  --strategy=<schedule>         composable per-epoch adversary strategy for
+                                the --faulty coalition; entries
+                                "<from>[-<to>]:action[,action]" joined by ';'
+                                with actions equivocate|withhold|delay=<us>|
+                                target-leader, plus optional "epoch=<us>" and
+                                "gst=<us>" segments (see runtime/adversary.h).
+                                Example: "0-3:withhold;gst=120000"
+  --liveness_k=<views>          liveness oracle: flag >k correct views past
+                                GST without a correct commit (0 = auto)
+  --liveness_grace_ms=<ms>      liveness oracle: flag a run ending this long
+                                after GST with no correct commit (0 = auto)
   --inject_delay_ms=<ms> --impaired=<k>   Fig. 9 style delay injection
   --clients=<count>             (default 8*batch closed loop; 1M open loop)
   --client-groups=<G>           client-pool shards (default 1; byte-identical
@@ -55,8 +67,9 @@ void PrintUsage(std::FILE* out) {
                                 (default auto; byte-identical at any value)
   --event_cap=<N>               stop a runaway run after N events (default 0 =
                                 unlimited; truncation is reported, never silent)
-  --oracle                      arm the online invariant oracle (violations
-                                fail the run with a config+seed diagnostic)
+  --oracle                      arm the online safety + liveness oracles
+                                (violations fail the run with a config+seed
+                                diagnostic)
   --bandwidth_bytes_per_us=<B>  per-node egress bandwidth (default 2000)
   --paper_point                 throughput at saturation + light-load latency
 
@@ -65,7 +78,7 @@ Registered scenarios (the hs1bench sweep engine):
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
   (--sim-jobs / --lookahead / --oracle / --arrival / --offered-load /
-   --client-groups / --cert-scheme apply to scenario points too)
+   --client-groups / --cert-scheme / --strategy apply to scenario points too)
 )");
 }
 
@@ -192,6 +205,16 @@ int RunMain(int argc, char** argv) {
   cfg.num_faulty = static_cast<uint32_t>(flags.GetInt("faulty", 0));
   cfg.rollback_victims =
       static_cast<uint32_t>(flags.GetInt("victims", (cfg.n - 1) / 3));
+  if (flags.Has("strategy")) {
+    std::string error;
+    if (!ParseStrategySchedule(flags.GetString("strategy", ""), &cfg.strategy,
+                               &error)) {
+      std::fprintf(stderr, "bad --strategy: %s\n", error.c_str());
+      return Usage();
+    }
+  }
+  cfg.liveness_k = static_cast<uint64_t>(flags.GetInt("liveness_k", 0));
+  cfg.liveness_grace = Millis(flags.GetDouble("liveness_grace_ms", 0));
 
   const ExperimentResult res = flags.GetBool("paper_point", false)
                                    ? RunPaperPoint(cfg)
@@ -202,7 +225,8 @@ int RunMain(int argc, char** argv) {
       "RESULT protocol=\"%s\" n=%u batch=%u tput_tps=%.0f lat_avg_ms=%.3f "
       "lat_p50_ms=%.3f lat_p99_ms=%.3f lat_p999_ms=%.3f accepted=%llu spec=%llu "
       "views=%llu slots=%llu timeouts=%llu rollbacks=%llu resub=%llu "
-      "backlog=%llu safety=%d cap_hit=%d oracle_violations=%llu\n",
+      "backlog=%llu safety=%d cap_hit=%d liveness_violations=%llu "
+      "oracle_violations=%llu\n",
       res.protocol.c_str(), cfg.n, cfg.batch_size, res.throughput_tps,
       res.avg_latency_ms, res.p50_latency_ms, res.p99_latency_ms,
       res.p999_latency_ms, static_cast<unsigned long long>(res.accepted),
@@ -214,6 +238,7 @@ int RunMain(int argc, char** argv) {
       static_cast<unsigned long long>(res.resubmissions),
       static_cast<unsigned long long>(res.backlog), res.safety_ok ? 1 : 0,
       res.event_cap_hit ? 1 : 0,
+      static_cast<unsigned long long>(res.liveness_violations),
       static_cast<unsigned long long>(res.oracle_violations));
 
   std::printf("\n%s, n=%u (f=%u), batch=%u, %s%s\n", res.protocol.c_str(), cfg.n,
@@ -233,12 +258,26 @@ int RunMain(int argc, char** argv) {
     if (res.oracle_violations > 0) {
       std::printf("  %s\n", res.oracle_first_violation.c_str());
     }
+    std::printf("  liveness     %10s\n",
+                res.liveness_violations == 0 ? "OK" : "VIOLATED");
+    if (res.liveness_violations > 0) {
+      std::printf("  %s\n", res.liveness_first_violation.c_str());
+    }
   }
   if (res.event_cap_hit) {
     std::printf("  WARNING: the simulator stopped at its event cap - this run "
                 "was truncated, not drained\n");
   }
-  return res.safety_ok && res.oracle_violations == 0 ? 0 : 1;
+  if (res.cap_parallelism_degraded) {
+    std::fprintf(stderr,
+                 "warning: --event_cap with --sim-jobs > 1 disables windowed "
+                 "lookahead; this run fell back to tick-parallel scheduling "
+                 "(cap_parallelism_degraded)\n");
+  }
+  return res.safety_ok && res.oracle_violations == 0 &&
+                 res.liveness_violations == 0
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "runtime/adversary.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_runner.h"
 #include "tools/flags.h"
@@ -117,6 +118,15 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
   if (flags.Has("client-groups") && options->client_groups < 1) {
     std::fprintf(stderr, "--client-groups must be >= 1\n");
     return false;
+  }
+  if (flags.Has("strategy")) {
+    std::string error;
+    if (!ParseStrategySchedule(flags.GetString("strategy", ""),
+                               &options->strategy, &error)) {
+      std::fprintf(stderr, "bad --strategy: %s\n", error.c_str());
+      return false;
+    }
+    options->has_strategy = true;
   }
   options->oracle = flags.GetBool("oracle", false);
   options->smoke = flags.GetBool("smoke", false);
