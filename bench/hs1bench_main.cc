@@ -41,6 +41,10 @@ void PrintUsage(std::FILE* out) {
                              onto every point's faulty coalition (grammar in
                              runtime/adversary.h; respected only when the
                              scenario does not sweep the strategy itself)
+  --reconfig=<schedule>      force an epoch-based committee reconfiguration
+                             schedule onto every point (grammar in
+                             consensus/committee.h; respected only when the
+                             scenario does not sweep the schedule itself)
   --arrival=<kind>           force a traffic model onto every point
                              (closed|poisson|bursty|diurnal|flash; respected
                              only when the scenario does not sweep it)

@@ -27,9 +27,9 @@ void ChainedReplica::OnEnterView(uint64_t v) {
     pending_votes_.erase(pending_votes_.begin());
   }
 
-  if (v == 1) {
-    // Bootstrap: there is no view 0 to exit, so every replica hands L_1 a
-    // NewView over the hard-coded genesis certificate (§4.1 note).
+  if (v == 1 && ActiveInView(1)) {
+    // Bootstrap: there is no view 0 to exit, so every committee member hands
+    // L_1 a NewView over the hard-coded genesis certificate (§4.1 note).
     auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = 1;
     nv->high_cert = high_cert_;
@@ -60,11 +60,14 @@ void ChainedReplica::OnEnterView(uint64_t v) {
 }
 
 void ChainedReplica::OnViewTimeout(uint64_t v) {
-  auto nv = sim::MakeMessage<NewViewMsg>(id_);
-  nv->target_view = v + 1;
-  nv->high_cert = high_cert_;
-  nv->has_share = false;
-  SendTo(LeaderOf(v + 1), std::move(nv));
+  // Standby replicas advance their view clock but hold no NewView power.
+  if (ActiveInView(v + 1)) {
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
+    nv->target_view = v + 1;
+    nv->high_cert = high_cert_;
+    nv->has_share = false;
+    SendTo(LeaderOf(v + 1), std::move(nv));
+  }
   pacemaker_.CompletedView(v + 1);
 }
 
@@ -118,6 +121,7 @@ void ChainedReplica::HandlePropose(const ProposeMsg& msg) {
 
 void ChainedReplica::VoteOn(const ProposeMsg& msg) {
   const uint64_t v = msg.block->view();
+  if (!ActiveInView(v)) return;  // standby: learn and execute, never vote
   if (v != view() || voted_view_ >= v) return;
   if (v <= exited_view_) return;  // exitView(): no voting after timeout
 
@@ -154,18 +158,22 @@ void ChainedReplica::HandleNewView(const NewViewMsg& msg) {
   if (st.proposed) return;
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighCert(msg.high_cert);
-  st.senders.Set(msg.sender);
+  // Readiness counts the *previous* view's committee (the replicas that are
+  // finishing view tv-1 and reporting in); at an epoch boundary those are
+  // the outgoing members.
+  if (IsMember(tv == 0 ? 0 : tv - 1, msg.sender)) st.senders.Set(msg.sender);
 
   // A tail-forking leader pretends it received no votes for the previous
   // proposal (Example 6.2) and never forms P(v-1).
   const bool ignore_shares = adversary_.fault == Fault::kTailFork;
   if (msg.has_share && !ignore_shares &&
-      msg.share_kind == CertKind::kPrepare && msg.voted_id.view + 1 == tv) {
+      msg.share_kind == CertKind::kPrepare && msg.voted_id.view + 1 == tv &&
+      IsMember(msg.voted_id.view, msg.sender)) {
     if (CheckVote(CertKind::kPrepare, msg.voted_id.view, msg.voted_id,
                   msg.voted_hash, msg.share)) {
       auto [it, inserted] = st.accs.try_emplace(
           msg.voted_hash, CertKind::kPrepare, msg.voted_id.view, msg.voted_id,
-          msg.voted_hash, config_.quorum());
+          msg.voted_hash, QuorumOf(msg.voted_id.view));
       (void)inserted;
       if (it->second.Add(msg.share)) {
         st.formed = true;
@@ -182,9 +190,11 @@ void ChainedReplica::MaybePropose(uint64_t v) {
   if (crashed_ || view() != v || v <= exited_view_ || !IsLeaderOf(v)) return;
   LeaderViewState& st = nv_state_[v];
   if (st.proposed || st.waiting_block) return;
-  if (st.senders.Count() < config_.quorum()) return;
+  const uint64_t prev = v == 0 ? 0 : v - 1;  // senders finish view v-1
+  if (st.senders.Count() < QuorumOf(prev)) return;
 
-  bool ready = st.formed || st.senders.Count() >= config_.n || st.share_timer_passed;
+  bool ready = st.formed || st.senders.Count() >= CommitteeNOf(prev) ||
+               st.share_timer_passed;
   if (adversary_.fault == Fault::kTailFork) ready = true;
   if (!ready) return;
   Propose(v);

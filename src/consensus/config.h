@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "consensus/committee.h"
 #include "crypto/authenticator.h"
 
 namespace hotstuff1 {
@@ -51,6 +52,18 @@ enum StrategyAction : uint32_t {
   /// Drop traffic addressed to the current or next view's leader, starving
   /// certificate formation without going fully silent.
   kActTargetLeader = 1u << 3,
+  /// Network split: traffic between the entry's node groups is dropped for
+  /// the entry's epochs; the partition heals when the entry ends (its
+  /// to_epoch is the heal time). Environmental — applies to all traffic,
+  /// not just the coalition's.
+  kActPartition = 1u << 4,
+  /// Correlated regional outage: all traffic to and from the entry's
+  /// topology regions is dropped. Environmental.
+  kActOutage = 1u << 5,
+  /// WAN jitter: every cross-node delivery gains a uniformly random extra
+  /// delay of up to jitter_pct% of its base latency (only ever *adds* delay,
+  /// so the lookahead horizon stays valid). Environmental.
+  kActJitter = 1u << 6,
 };
 
 /// Sentinel for an open-ended strategy entry.
@@ -62,11 +75,20 @@ struct StrategyEntry {
   uint32_t to_epoch = kEpochForever;  // exclusive; kEpochForever = open-ended
   uint32_t actions = kActNone;
   SimTime delay = 0;  // only read when actions has kActDelay
+  /// kActPartition: node groups isolated from each other (each group a
+  /// sorted id list; nodes in no group communicate freely with everyone).
+  std::vector<std::vector<uint32_t>> partition;
+  /// kActOutage: topology region indices cut off from the rest.
+  std::vector<uint32_t> outage_regions;
+  /// kActJitter: max extra delay as an integer percentage of base latency.
+  uint32_t jitter_pct = 0;
 };
 
 inline bool operator==(const StrategyEntry& a, const StrategyEntry& b) {
   return a.from_epoch == b.from_epoch && a.to_epoch == b.to_epoch &&
-         a.actions == b.actions && a.delay == b.delay;
+         a.actions == b.actions && a.delay == b.delay &&
+         a.partition == b.partition && a.outage_regions == b.outage_regions &&
+         a.jitter_pct == b.jitter_pct;
 }
 
 /// A per-epoch adversary strategy for the whole coalition. Epochs are fixed
@@ -113,8 +135,11 @@ struct StrategySchedule {
 
   /// Actions that perturb message timeliness (everything but equivocation;
   /// an equivocating leader is a safety problem, not a progress problem).
+  /// Partitions, outages, and jitter are environmental interference: their
+  /// entries' ends (heal times) push GST just like coalition delay does.
   static constexpr uint32_t kInterference =
-      kActWithhold | kActDelay | kActTargetLeader;
+      kActWithhold | kActDelay | kActTargetLeader | kActPartition | kActOutage |
+      kActJitter;
 
   /// Concrete GST given a resolved epoch_length: the declared time if set,
   /// else the end of the last interference entry (0 when the schedule never
@@ -213,6 +238,13 @@ struct ConsensusConfig {
   /// view timer allows, §6.1).
   uint32_t max_slots_per_view = 0;
 
+  /// Epoch-based committee reconfiguration schedule (resolved:
+  /// views_per_epoch > 0). Null = the full static committee of n nodes —
+  /// byte-identical legacy behaviour. When set, `n`/`f` describe the
+  /// *allocated* node pool (epoch geometry, transport sizing, fault masks);
+  /// per-view quorum/leader arithmetic goes through the schedule.
+  std::shared_ptr<const CommitteeSchedule> committee;
+
   // --- ablation & test hooks -------------------------------------------------
   /// Disable speculative responses entirely (HotStuff-1 degenerates to
   /// HotStuff-2 latency; ablation 1 in DESIGN.md).
@@ -236,6 +268,14 @@ struct ConsensusConfig {
   /// end-of-run safety check stays green. Only the online progress monitor
   /// (runtime/liveness.h) catches it. Never enable outside tests.
   bool test_break_liveness = false;
+  /// Test-only mutation hook for the oracle's *cross-reconfiguration*
+  /// self-test: a replica that is voted out of the committee commits a
+  /// fabricated block on top of its committed tip as it leaves, then halts.
+  /// The end-of-run CheckSafety skips crashed replicas, so only the
+  /// InvariantOracle's height-keyed commit lattice — which spans epochs —
+  /// catches the conflict with what the new committee commits at that
+  /// height. Never enable outside tests.
+  bool test_break_reconfig = false;
 
   uint32_t quorum() const { return n - f; }
 

@@ -16,6 +16,32 @@ Pacemaker::Pacemaker(sim::Simulator* sim, const KeyRegistry* registry, Signer si
       delta_(delta),
       cb_(std::move(cb)) {}
 
+void Pacemaker::set_committee(std::shared_ptr<const CommitteeSchedule> committee) {
+  if (committee) {
+    HS1_CHECK_EQ(committee->views_per_epoch, static_cast<uint64_t>(f_) + 1)
+        << "committee schedule epoch geometry must match the pacemaker's";
+  }
+  committee_ = std::move(committee);
+}
+
+uint32_t Pacemaker::WishQuorum(uint64_t view) const {
+  return committee_ ? committee_->AtView(view).quorum() : n_ - f_;
+}
+
+uint32_t Pacemaker::AggregatorF(uint64_t view) const {
+  return committee_ ? committee_->AtView(view).f() : f_;
+}
+
+ReplicaId Pacemaker::Aggregator(uint64_t view, uint32_t k) const {
+  if (!committee_) return static_cast<ReplicaId>((view + k) % n_);
+  const Committee& c = committee_->AtView(view);
+  return c.members[(view + k) % c.members.size()];
+}
+
+bool Pacemaker::IsWishMember(uint64_t view, ReplicaId r) const {
+  return !committee_ || committee_->AtView(view).Contains(r);
+}
+
 Hash256 Pacemaker::WishDigest(uint64_t view) const {
   Sha256 ctx;
   ctx.Update("hs1-wish");
@@ -44,11 +70,14 @@ void Pacemaker::SynchronizeEpoch(uint64_t view) {
   // ever assemble (every replica drops its Wishes past epoch 0), modelling a
   // view-synchronization bug that stalls the system without violating safety.
   if (break_epoch_sync_ && view > 0) return;
+  // Standby replicas hold no wish power for this boundary's committee; they
+  // block here and join the epoch when the TC broadcast arrives.
+  if (!IsWishMember(view, signer_.id())) return;
   auto msg = sim::MakeMessage<WishMsg>(signer_.id());
   msg->view = view;
   msg->share = signer_.Sign(SignDomain::kWish, WishDigest(view));
-  for (uint32_t k = 0; k <= f_; ++k) {
-    cb_.send_wish(static_cast<ReplicaId>((view + k) % n_), msg);
+  for (uint32_t k = 0; k <= AggregatorF(view); ++k) {
+    cb_.send_wish(Aggregator(view, k), msg);
   }
 }
 
@@ -57,12 +86,16 @@ void Pacemaker::OnWish(const WishMsg& msg) {
     HS1_LOG_WARN() << "pacemaker: invalid wish share from " << msg.sender;
     return;
   }
+  // Only the boundary committee's shares count toward the TC quorum: a
+  // voted-out (or never-admitted) replica must not be able to help certify
+  // an epoch it holds no power in.
+  if (!IsWishMember(msg.view, msg.share.signer)) return;
   WishState& ws = wishes_[msg.view];
   if (ws.tc_sent) return;
   if (ws.signers.Test(msg.share.signer)) return;
   ws.signers.Set(msg.share.signer);
   ws.sigs.push_back(msg.share);
-  if (ws.signers.Count() >= n_ - f_) {
+  if (ws.signers.Count() >= WishQuorum(msg.view)) {
     ws.tc_sent = true;
     auto tc = sim::MakeMessage<TimeoutCertMsg>(signer_.id());
     tc->view = msg.view;
@@ -73,8 +106,9 @@ void Pacemaker::OnWish(const WishMsg& msg) {
 
 void Pacemaker::OnTimeoutCert(const TimeoutCertMsg& msg) {
   if (tc_handled_.count(msg.view)) return;
-  const Status st =
-      registry_->VerifyQuorum(msg.sigs, SignDomain::kWish, WishDigest(msg.view), n_ - f_);
+  const Status st = registry_->VerifyQuorum(msg.sigs, SignDomain::kWish,
+                                            WishDigest(msg.view),
+                                            WishQuorum(msg.view));
   if (!st.ok()) {
     HS1_LOG_WARN() << "pacemaker: bad TC for view " << msg.view << ": " << st;
     return;
@@ -86,8 +120,8 @@ void Pacemaker::OnTimeoutCert(const TimeoutCertMsg& msg) {
   auto relay = sim::MakeMessage<TimeoutCertMsg>(signer_.id());
   relay->view = msg.view;
   relay->sigs = msg.sigs;
-  for (uint32_t k = 0; k <= f_; ++k) {
-    cb_.send_tc(static_cast<ReplicaId>((msg.view + k) % n_), relay);
+  for (uint32_t k = 0; k <= AggregatorF(msg.view); ++k) {
+    cb_.send_tc(Aggregator(msg.view, k), relay);
   }
 
   ScheduleEpochTimers(msg.view, sim_->Now());
@@ -121,7 +155,22 @@ void Pacemaker::EnterView(uint64_t view) {
   if (view <= current_view_) return;
   current_view_ = view;
   entered_at_ = sim_->Now();
+  PruneStaleViews();
   cb_.enter_view(view);
+}
+
+void Pacemaker::PruneStaleViews() {
+  // Wish aggregation state and TC dedup markers are only ever consulted for
+  // the current epoch's boundary (and the next one, whose wishes may already
+  // be arriving). Everything strictly below the current epoch is dead weight
+  // — without pruning both containers grow one entry per epoch forever, a
+  // slow leak and map-lookup tax on long soak and reconfiguration runs.
+  // Dropping a stale TC marker is harmless: re-handling a very late TC is
+  // idempotent for view state (EnterView ignores stale views) and merely
+  // re-relays a bounded message.
+  const uint64_t floor = EpochStart(current_view_);
+  wishes_.erase(wishes_.begin(), wishes_.lower_bound(floor));
+  tc_handled_.erase(tc_handled_.begin(), tc_handled_.lower_bound(floor));
 }
 
 }  // namespace hotstuff1

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/replica_set.h"
+#include "consensus/committee.h"
 #include "consensus/messages.h"
 #include "crypto/signer.h"
 #include "sim/simulator.h"
@@ -70,11 +71,33 @@ class Pacemaker {
   /// First view of the epoch containing `view`.
   uint64_t EpochStart(uint64_t view) const { return view - (view % (f_ + 1)); }
 
+  /// Committee reconfiguration: wish sending, aggregation targets, and TC
+  /// quorum arithmetic follow the view's epoch committee. Epoch *geometry*
+  /// (f_+1 views per epoch) stays pinned to the allocated pool — membership
+  /// changes must not move the certified boundaries — so the schedule's
+  /// views_per_epoch must equal f_+1.
+  void set_committee(std::shared_ptr<const CommitteeSchedule> committee);
+
+  /// Bounded-state introspection (the per-view Wish/TC maps are pruned below
+  /// the current epoch; see PruneStaleViews).
+  size_t wish_state_size() const { return wishes_.size(); }
+  size_t tc_handled_size() const { return tc_handled_.size(); }
+
  private:
   void SynchronizeEpoch(uint64_t view);
   void EnterView(uint64_t view);
   void ScheduleEpochTimers(uint64_t first_view, SimTime tc_time);
+  void PruneStaleViews();
   Hash256 WishDigest(uint64_t view) const;
+
+  /// Wish quorum for the epoch boundary at `view` (committee-aware n-f).
+  uint32_t WishQuorum(uint64_t view) const;
+  /// Number of wish/TC aggregation targets for the boundary at `view` - 1.
+  uint32_t AggregatorF(uint64_t view) const;
+  /// k-th aggregation target: the k-th leader of the epoch starting at `view`.
+  ReplicaId Aggregator(uint64_t view, uint32_t k) const;
+  /// Is `r` allowed to contribute a Wish share for the boundary at `view`?
+  bool IsWishMember(uint64_t view, ReplicaId r) const;
 
   sim::Simulator* sim_;
   const KeyRegistry* registry_;
@@ -82,6 +105,7 @@ class Pacemaker {
   uint32_t n_, f_;
   SimTime tau_, delta_;
   Callbacks cb_;
+  std::shared_ptr<const CommitteeSchedule> committee_;  // null = static
 
   uint64_t current_view_ = 0;
   SimTime entered_at_ = 0;

@@ -29,7 +29,8 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
                   ++metrics_.views_entered;
                   if (oracle_) oracle_->OnViewEntered(id_, v);
                   if (liveness_) liveness_->OnViewEntered(id_, v);
-                  OnEnterView(v);
+                  MaybeBreakReconfig(v);
+                  if (!crashed_) OnEnterView(v);
                 }
               },
               [this](uint64_t v) {
@@ -51,6 +52,29 @@ ReplicaBase::ReplicaBase(ReplicaId id, const ConsensusConfig& config,
     HandleMessage(from, msg);
   });
   if (config_.test_break_liveness) pacemaker_.set_break_epoch_sync(true);
+  if (config_.committee) pacemaker_.set_committee(config_.committee);
+}
+
+void ReplicaBase::MaybeBreakReconfig(uint64_t view) {
+  if (!config_.test_break_reconfig || !config_.committee) return;
+  const uint32_t epoch = config_.committee->EpochOf(view);
+  if (epoch == 0 || view % config_.committee->views_per_epoch != 0) return;
+  const Committee& prev = config_.committee->AtEpoch(epoch - 1);
+  const Committee& cur = config_.committee->AtEpoch(epoch);
+  if (!prev.Contains(id_) || cur.Contains(id_)) return;
+  // Voted out: commit a fabricated block on the committed tip at a height
+  // the new committee will also commit, then halt. Halting keeps the local
+  // ledger self-consistent (a later honest commit at this height would trip
+  // the Ledger's own fork check and abort the process) and removes this
+  // replica from the end-of-run CheckSafety comparison — exactly the blind
+  // spot the oracle's cross-epoch lattice covers.
+  const BlockPtr tip = ledger_.committed_tip();
+  auto forged = std::make_shared<Block>(BlockId{view, 1}, tip->hash(),
+                                        tip->height() + 1, id_,
+                                        std::vector<Transaction>{});
+  store_.Put(forged);
+  DeliverCommits(ledger_.CommitChain(forged));
+  SetCrashed();
 }
 
 void ReplicaBase::Start() { pacemaker_.Start(); }
@@ -166,7 +190,16 @@ bool ReplicaBase::CheckCert(const Certificate& cert) {
       VoteDigest(cert.kind(), context_view, cert.block_id(), cert.block_hash());
   if (verified_certs_.count(key)) return true;
   ChargeCpu(config_.costs.verify_us * static_cast<SimTime>(cert.sigs().size()));
-  const Status st = cert.Verify(*registry_, config_.quorum());
+  // Quorum arithmetic follows the committee of the view the shares were cast
+  // in. NewView shares sign the view being *entered* (the digest context
+  // above) but are cast by the previous view's committee — at a growth
+  // boundary the new, larger quorum must not reject a certificate the old
+  // committee legitimately formed.
+  const uint64_t quorum_view =
+      cert.kind() == CertKind::kNewView
+          ? (cert.formed_view() == 0 ? 0 : cert.formed_view() - 1)
+          : cert.view();
+  const Status st = cert.Verify(*registry_, QuorumOf(quorum_view));
   if (!st.ok()) {
     HS1_LOG_WARN() << "replica " << id_ << ": bad certificate " << cert.ToString()
                    << ": " << st;

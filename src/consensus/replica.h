@@ -112,8 +112,33 @@ class ReplicaBase {
   const Certificate* JustifyOf(const Hash256& block_hash) const;
   void RecordJustify(const Hash256& block_hash, const Certificate& justify);
 
-  ReplicaId LeaderOf(uint64_t v) const { return static_cast<ReplicaId>(v % config_.n); }
+  // --- per-view committee arithmetic -----------------------------------------
+  // With a reconfiguration schedule, leadership, quorum sizes, and the right
+  // to vote/propose/aggregate are functions of the view's epoch committee;
+  // without one they collapse to the static n/f arithmetic. Non-members stay
+  // full learners/executors (they receive broadcasts, commit via
+  // certificates, answer clients) — they just hold no protocol power.
+  ReplicaId LeaderOf(uint64_t v) const {
+    if (config_.committee) return config_.committee->LeaderOfView(v);
+    return static_cast<ReplicaId>(v % config_.n);
+  }
   bool IsLeaderOf(uint64_t v) const { return LeaderOf(v) == id_; }
+  uint32_t QuorumOf(uint64_t v) const {
+    return config_.committee ? config_.committee->AtView(v).quorum()
+                             : config_.quorum();
+  }
+  uint32_t CommitteeNOf(uint64_t v) const {
+    return config_.committee ? config_.committee->AtView(v).n() : config_.n;
+  }
+  uint32_t CommitteeFOf(uint64_t v) const {
+    return config_.committee ? config_.committee->AtView(v).f() : config_.f;
+  }
+  bool IsMember(uint64_t v, ReplicaId r) const {
+    return !config_.committee || config_.committee->AtView(v).Contains(r);
+  }
+  /// True when this replica holds protocol power (vote/propose/aggregate/
+  /// wish) in view `v`.
+  bool ActiveInView(uint64_t v) const { return IsMember(v, id_); }
 
   sim::Simulator* simulator() const { return net_->simulator(); }
   SimTime Now() const { return net_->simulator()->Now(); }
@@ -150,6 +175,12 @@ class ReplicaBase {
   /// now. Self-delivery is never suppressed — the coalition keeps its own
   /// protocol state while starving everyone else.
   bool SuppressSendTo(ReplicaId to) const;
+
+  /// test_break_reconfig mutation (see ConsensusConfig): on entering the
+  /// first view of an epoch that voted this replica out, commit a fabricated
+  /// block atop the committed tip and halt. Only the cross-epoch oracle
+  /// lattice can catch the resulting conflict.
+  void MaybeBreakReconfig(uint64_t view);
 
   void HandleMessage(sim::NodeId from, const sim::NetMessagePtr& raw);
   void HandleFetchRequest(const FetchRequestMsg& msg);

@@ -33,7 +33,7 @@ void HotStuff1BasicReplica::OnEnterView(uint64_t v) {
     pending_prepares_.erase(pending_prepares_.begin());
   }
 
-  if (v == 1) {
+  if (v == 1 && ActiveInView(1)) {
     // Bootstrap: no view 0 exists; hand L_1 a NewView over genesis.
     auto nv = sim::MakeMessage<NewViewMsg>(id_);
     nv->target_view = 1;
@@ -60,11 +60,14 @@ void HotStuff1BasicReplica::OnEnterView(uint64_t v) {
 }
 
 void HotStuff1BasicReplica::OnViewTimeout(uint64_t v) {
-  auto nv = sim::MakeMessage<NewViewMsg>(id_);
-  nv->target_view = v + 1;
-  nv->high_cert = high_prepare_;
-  nv->has_share = false;
-  SendTo(LeaderOf(v + 1), std::move(nv));
+  // Standby replicas advance their view clock but hold no NewView power.
+  if (ActiveInView(v + 1)) {
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
+    nv->target_view = v + 1;
+    nv->high_cert = high_prepare_;
+    nv->has_share = false;
+    SendTo(LeaderOf(v + 1), std::move(nv));
+  }
   pacemaker_.CompletedView(v + 1);
 }
 
@@ -94,16 +97,17 @@ void HotStuff1BasicReplica::HandleNewView(const NewViewMsg& msg) {
   if (st.proposed) return;
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighPrepare(msg.high_cert);
-  st.senders.Set(msg.sender);
+  // Readiness counts the previous view's committee (see ChainedReplica).
+  if (IsMember(tv == 0 ? 0 : tv - 1, msg.sender)) st.senders.Set(msg.sender);
 
   // Commit shares over P(v-1) aggregate into C(v-1) (Fig. 2 lines 11-12).
   if (msg.has_share && msg.share_kind == CertKind::kCommit &&
-      msg.voted_id.view + 1 == tv) {
+      msg.voted_id.view + 1 == tv && IsMember(msg.voted_id.view, msg.sender)) {
     if (CheckVote(CertKind::kCommit, msg.voted_id.view, msg.voted_id,
                   msg.voted_hash, msg.share)) {
       auto [it, inserted] = st.commit_accs.try_emplace(
           msg.voted_hash, CertKind::kCommit, msg.voted_id.view, msg.voted_id,
-          msg.voted_hash, config_.quorum());
+          msg.voted_hash, QuorumOf(msg.voted_id.view));
       (void)inserted;
       if (it->second.Add(msg.share)) {
         Certificate commit_cert = it->second.Build();
@@ -121,10 +125,14 @@ void HotStuff1BasicReplica::MaybePropose(uint64_t v) {
   if (crashed_ || view() != v || !IsLeaderOf(v)) return;
   LeaderViewState& st = state_[v];
   if (st.proposed) return;
-  if (st.senders.Count() < config_.quorum()) return;
+  const uint64_t prev = v == 0 ? 0 : v - 1;  // senders finish view v-1
+  if (st.senders.Count() < QuorumOf(prev)) return;
   // Fig. 2 line 8: wait for P(v-1) or n NewView messages or ShareTimer(v).
   const bool have_prev = high_prepare_.block_id().view + 1 == v;
-  if (!(have_prev || st.senders.Count() >= config_.n || st.share_timer_passed)) return;
+  if (!(have_prev || st.senders.Count() >= CommitteeNOf(prev) ||
+        st.share_timer_passed)) {
+    return;
+  }
   Propose(v);
 }
 
@@ -209,21 +217,23 @@ void HotStuff1BasicReplica::HandlePropose(const ProposeMsg& msg) {
   if (voted_view_ >= v) return;
   if (v <= exited_view_) return;  // exitView(): no voting after timeout
 
-  const bool safe = msg.justify.block_id() == high_prepare_.block_id() &&
-                    msg.justify.block_hash() == high_prepare_.block_hash();
-  const bool collude = adversary_.collude && adversary_.faulty &&
-                       (*adversary_.faulty)[msg.sender];
-  if (!safe && !collude) return;
+  if (ActiveInView(v)) {
+    const bool safe = msg.justify.block_id() == high_prepare_.block_id() &&
+                      msg.justify.block_hash() == high_prepare_.block_hash();
+    const bool collude = adversary_.collude && adversary_.faulty &&
+                         (*adversary_.faulty)[msg.sender];
+    if (!safe && !collude) return;
 
-  voted_view_ = v;
-  ++metrics_.votes_sent;
-  auto vote = sim::MakeMessage<VoteMsg>(id_);
-  vote->vote_kind = CertKind::kPrepare;
-  vote->context_view = v;
-  vote->block_id = msg.block->id();
-  vote->block_hash = msg.block->hash();
-  vote->share = SignVote(CertKind::kPrepare, v, msg.block->id(), msg.block->hash());
-  SendTo(LeaderOf(v), std::move(vote));
+    voted_view_ = v;
+    ++metrics_.votes_sent;
+    auto vote = sim::MakeMessage<VoteMsg>(id_);
+    vote->vote_kind = CertKind::kPrepare;
+    vote->context_view = v;
+    vote->block_id = msg.block->id();
+    vote->block_hash = msg.block->hash();
+    vote->share = SignVote(CertKind::kPrepare, v, msg.block->id(), msg.block->hash());
+    SendTo(LeaderOf(v), std::move(vote));
+  }
 
   // A Prepare may have raced ahead of the proposal; replay it.
   auto it = pending_prepares_.find(v);
@@ -239,6 +249,7 @@ void HotStuff1BasicReplica::HandleVote(const VoteMsg& msg) {
   const uint64_t v = msg.block_id.view;
   if (LeaderOf(v) != id_ || v != view()) return;
   if (v <= exited_view_) return;  // no late certificate formation
+  if (!IsMember(v, msg.sender)) return;  // standby votes carry no weight
   LeaderViewState& st = state_[v];
   if (st.prepared) return;
   if (!CheckVote(CertKind::kPrepare, v, msg.block_id, msg.block_hash, msg.share)) {
@@ -246,7 +257,7 @@ void HotStuff1BasicReplica::HandleVote(const VoteMsg& msg) {
   }
   if (!st.vote_acc) {
     st.vote_acc.emplace(CertKind::kPrepare, v, msg.block_id, msg.block_hash,
-                        config_.quorum());
+                        QuorumOf(v));
   }
   if (st.vote_acc->block_hash() != msg.block_hash) return;
   if (st.vote_acc->Add(msg.share)) {
@@ -305,18 +316,21 @@ void HotStuff1BasicReplica::HandlePrepare(const PrepareMsg& msg) {
     RespondToClients(sb.block, sb.results, /*speculative=*/true);
   }
 
-  // Vote to commit (Fig. 2 lines 28-29) and move to the next view.
+  // Vote to commit (Fig. 2 lines 28-29) and move to the next view. Standby
+  // replicas advance their view clock without commit power.
   if (v == view() && v > exited_view_ && commit_voted_view_ < v) {
     commit_voted_view_ = v;
-    auto nv = sim::MakeMessage<NewViewMsg>(id_);
-    nv->target_view = v + 1;
-    nv->high_cert = high_prepare_;
-    nv->has_share = true;
-    nv->share_kind = CertKind::kCommit;
-    nv->voted_id = certified->id();
-    nv->voted_hash = certified->hash();
-    nv->share = SignVote(CertKind::kCommit, v, certified->id(), certified->hash());
-    SendTo(LeaderOf(v + 1), std::move(nv));
+    if (ActiveInView(v)) {
+      auto nv = sim::MakeMessage<NewViewMsg>(id_);
+      nv->target_view = v + 1;
+      nv->high_cert = high_prepare_;
+      nv->has_share = true;
+      nv->share_kind = CertKind::kCommit;
+      nv->voted_id = certified->id();
+      nv->voted_hash = certified->hash();
+      nv->share = SignVote(CertKind::kCommit, v, certified->id(), certified->hash());
+      SendTo(LeaderOf(v + 1), std::move(nv));
+    }
     ExitToNextView(v);
   }
 }

@@ -74,7 +74,7 @@ void HotStuff1SlottedReplica::OnEnterView(uint64_t v) {
     pending_proposals_.erase(pending_proposals_.begin());
   }
 
-  if (v == 1) {
+  if (v == 1 && ActiveInView(1)) {
     // Bootstrap: there is no view 0 to time out of, so every replica sends
     // L_1 an initial NewView voting for the hard-coded genesis (§4.1 note).
     auto nv = sim::MakeMessage<NewViewMsg>(id_);
@@ -108,16 +108,19 @@ void HotStuff1SlottedReplica::OnEnterView(uint64_t v) {
 void HotStuff1SlottedReplica::OnViewTimeout(uint64_t v) {
   // The normal end of a slotted view (§6.1 View-change): hand the next
   // leader our highest certificate and a New-View share over our highest
-  // voted block H_h (Fig. 7 lines 27-31).
-  auto nv = sim::MakeMessage<NewViewMsg>(id_);
-  nv->target_view = v + 1;
-  nv->high_cert = high_cert_;
-  nv->has_share = true;
-  nv->share_kind = CertKind::kNewView;
-  nv->voted_id = high_voted_id_;
-  nv->voted_hash = high_voted_hash_;
-  nv->share = SignVote(CertKind::kNewView, v + 1, high_voted_id_, high_voted_hash_);
-  SendTo(LeaderOf(v + 1), std::move(nv));
+  // voted block H_h (Fig. 7 lines 27-31). Standby replicas advance their
+  // view clock but hold no NewView power.
+  if (ActiveInView(v + 1)) {
+    auto nv = sim::MakeMessage<NewViewMsg>(id_);
+    nv->target_view = v + 1;
+    nv->high_cert = high_cert_;
+    nv->has_share = true;
+    nv->share_kind = CertKind::kNewView;
+    nv->voted_id = high_voted_id_;
+    nv->voted_hash = high_voted_hash_;
+    nv->share = SignVote(CertKind::kNewView, v + 1, high_voted_id_, high_voted_hash_);
+    SendTo(LeaderOf(v + 1), std::move(nv));
+  }
   pacemaker_.CompletedView(v + 1);
 }
 
@@ -148,13 +151,18 @@ void HotStuff1SlottedReplica::HandleNewView(const NewViewMsg& msg) {
   LeaderState& st = lstate_[tv];
   if (!CheckCert(msg.high_cert)) return;
   UpdateHighCert(msg.high_cert);
-  st.nv_senders.Set(msg.sender);
+  // NewView senders/shares are replicas finishing view tv-1, so membership
+  // and quorum arithmetic follow tv-1's committee (outgoing members at an
+  // epoch boundary hand over to the incoming leader).
+  const uint64_t prev = tv == 0 ? 0 : tv - 1;
+  if (IsMember(prev, msg.sender)) st.nv_senders.Set(msg.sender);
 
-  if (msg.has_share && msg.share_kind == CertKind::kNewView) {
+  if (msg.has_share && msg.share_kind == CertKind::kNewView &&
+      IsMember(prev, msg.sender)) {
     if (CheckVote(CertKind::kNewView, tv, msg.voted_id, msg.voted_hash, msg.share)) {
       auto [it, inserted] = st.nv_accs.try_emplace(
           msg.voted_hash, CertKind::kNewView, tv, msg.voted_id, msg.voted_hash,
-          config_.quorum());
+          QuorumOf(prev));
       (void)inserted;
       VoteInfo& vi = st.nv_votes[msg.voted_hash];
       vi.id = msg.voted_id;
@@ -199,23 +207,28 @@ void HotStuff1SlottedReplica::MaybeProposeFirst(uint64_t v) {
     if (ProposeFirstSlot(v)) return;
   }
 
-  if (st.nv_senders.Count() < config_.quorum()) return;
+  // All the readiness arithmetic counts view v-1's committee (the NewView
+  // senders), not the allocated pool.
+  const uint64_t prev = v == 0 ? 0 : v - 1;
+  const uint32_t prev_n = CommitteeNOf(prev);
+  const uint32_t prev_f = CommitteeFOf(prev);
+  if (st.nv_senders.Count() < QuorumOf(prev)) return;
 
   // Condition (2): heard from everyone. Condition (3): ShareTimer passed.
-  bool ready = st.nv_senders.Count() >= config_.n || st.share_timer_passed;
+  bool ready = st.nv_senders.Count() >= prev_n || st.share_timer_passed;
 
   // Condition (4): with k replicas unheard (1 <= k <= f), fewer than f+1-k
   // votes exist for any slot above our highest certificate, so no higher
   // certificate can exist.
   if (!ready) {
-    const uint32_t k = config_.n - st.nv_senders.Count();
-    if (k >= 1 && k <= config_.f) {
+    const uint32_t k = prev_n - st.nv_senders.Count();
+    if (k >= 1 && k <= prev_f) {
       uint32_t max_higher = 0;
       for (const auto& [hash, vi] : st.nv_votes) {
         (void)hash;
         if (high_cert_.block_id() < vi.id) max_higher = std::max(max_higher, vi.count);
       }
-      if (max_higher < config_.f + 1 - k) ready = true;
+      if (max_higher < prev_f + 1 - k) ready = true;
     }
   }
   if (ready) ProposeFirstSlot(v);
@@ -279,7 +292,7 @@ void HotStuff1SlottedReplica::SendProposal(uint64_t v, uint32_t slot,
   if (slot == 1) ++metrics_.blocks_proposed;
   st.slots_proposed = slot;
   st.slot_acc.emplace(CertKind::kNewSlot, v, block->id(), block->hash(),
-                      config_.quorum());
+                      QuorumOf(v));
 
   auto msg = sim::MakeMessage<ProposeMsg>(id_);
   msg->block = std::move(block);
@@ -292,6 +305,7 @@ void HotStuff1SlottedReplica::HandleNewSlotVote(const VoteMsg& msg) {
   if (msg.vote_kind != CertKind::kNewSlot) return;
   const uint64_t v = msg.block_id.view;
   if (LeaderOf(v) != id_ || v != view()) return;
+  if (!IsMember(v, msg.sender)) return;  // standby votes carry no weight
   // After timing out of v, the leader must not form further view-v
   // certificates: its NewView message already fixed its highest
   // certificate, and a later one would contradict it (and could be
@@ -466,6 +480,11 @@ void HotStuff1SlottedReplica::HandlePropose(const ProposeMsg& msg) {
   }
   if (v <= exited_view_) return;  // exitView(): voting disabled after timeout
   if (s < next_slot_ || slot_view_ != v) return;  // already voted this slot
+
+  if (!ActiveInView(v)) {
+    next_slot_ = s + 1;  // standby: track slot consumption, no vote/reject power
+    return;
+  }
 
   const bool lex_ok = high_cert_.block_id() <= msg.justify.block_id();
   const bool collude = adversary_.collude && adversary_.faulty &&

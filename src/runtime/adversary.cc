@@ -60,12 +60,17 @@ bool Fail(std::string* error, std::string msg) {
   return false;
 }
 
-/// Strict non-negative integer parse of the whole string.
+/// Strict non-negative integer parse of the whole string: plain digits only.
+/// strtoll would silently accept leading whitespace and sign characters
+/// ("+5", " 5", "\t5"), widening the grammar beyond what Format ever emits
+/// and breaking the Parse/Format round-trip contract.
 bool ParseNumber(const std::string& s, int64_t* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || v < 0) return false;
+  if (s.empty() || s.size() > 18) return false;  // 18 digits always fit int64
+  int64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
   *out = v;
   return true;
 }
@@ -80,6 +85,42 @@ std::vector<std::string> Split(const std::string& s, char sep) {
     }
   }
   return parts;
+}
+
+/// Parses "<id>|<lo>-<hi>" terms joined by '+' into an id list (e.g.
+/// "0-3+8" -> {0,1,2,3,8}). Returns false on malformed or empty input.
+bool ParseIdList(const std::string& s, std::vector<uint32_t>* out) {
+  for (const std::string& part : Split(s, '+')) {
+    int64_t lo = 0, hi = 0;
+    const size_t dash = part.find('-');
+    if (dash == std::string::npos) {
+      if (!ParseNumber(part, &lo)) return false;
+      out->push_back(static_cast<uint32_t>(lo));
+    } else {
+      if (!ParseNumber(part.substr(0, dash), &lo) ||
+          !ParseNumber(part.substr(dash + 1), &hi) || hi < lo) {
+        return false;
+      }
+      for (int64_t i = lo; i <= hi; ++i) out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return !out->empty();
+}
+
+/// Canonical text form of an id list: maximal runs re-compressed to
+/// "lo-hi", joined by '+'.
+std::string FormatIdList(const std::vector<uint32_t>& ids) {
+  std::string out;
+  size_t i = 0;
+  while (i < ids.size()) {
+    size_t j = i;
+    while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1) ++j;
+    if (!out.empty()) out += "+";
+    out += std::to_string(ids[i]);
+    if (j > i) out += "-" + std::to_string(ids[j]);
+    i = j + 1;
+  }
+  return out;
 }
 
 bool ParseEntry(const std::string& segment, StrategyEntry* out,
@@ -126,10 +167,51 @@ bool ParseEntry(const std::string& segment, StrategyEntry* out,
       }
       entry.actions |= kActDelay;
       entry.delay = us;
+    } else if (action.rfind("partition=", 0) == 0) {
+      std::vector<std::vector<uint32_t>> groups;
+      std::vector<bool> seen;
+      for (const std::string& g : Split(action.substr(10), '|')) {
+        std::vector<uint32_t> ids;
+        if (!ParseIdList(g, &ids)) {
+          return Fail(error, "bad '" + action +
+                                 "' (want partition=<ids>('|'<ids>)+, ids as "
+                                 "<id> or <lo>-<hi> joined by '+')");
+        }
+        for (const uint32_t id : ids) {
+          if (id >= seen.size()) seen.resize(id + 1, false);
+          if (seen[id]) {
+            return Fail(error, "bad '" + action + "' (replica " +
+                                   std::to_string(id) + " in two groups)");
+          }
+          seen[id] = true;
+        }
+        groups.push_back(std::move(ids));
+      }
+      if (groups.size() < 2) {
+        return Fail(error, "bad '" + action + "' (want >= 2 groups)");
+      }
+      entry.actions |= kActPartition;
+      entry.partition = std::move(groups);
+    } else if (action.rfind("outage=", 0) == 0) {
+      std::vector<uint32_t> regions;
+      if (!ParseIdList(action.substr(7), &regions)) {
+        return Fail(error,
+                    "bad '" + action + "' (want outage=<region>('+'<region>)*)");
+      }
+      entry.actions |= kActOutage;
+      entry.outage_regions = std::move(regions);
+    } else if (action.rfind("jitter=", 0) == 0) {
+      int64_t pct = 0;
+      if (!ParseNumber(action.substr(7), &pct) || pct <= 0 || pct > 1000) {
+        return Fail(error, "bad '" + action + "' (want jitter=<pct in 1..1000>)");
+      }
+      entry.actions |= kActJitter;
+      entry.jitter_pct = static_cast<uint32_t>(pct);
     } else {
       return Fail(error, "unknown strategy action '" + action +
                              "' (want equivocate|withhold|delay=<us>|"
-                             "target-leader)");
+                             "target-leader|partition=<groups>|"
+                             "outage=<regions>|jitter=<pct>)");
     }
   }
   if (entry.actions == kActNone) {
@@ -195,6 +277,16 @@ std::string FormatStrategySchedule(const StrategySchedule& schedule) {
     if (e.actions & kActWithhold) add("withhold");
     if (e.actions & kActDelay) add("delay=" + std::to_string(e.delay));
     if (e.actions & kActTargetLeader) add("target-leader");
+    if (e.actions & kActPartition) {
+      std::string p = "partition=";
+      for (size_t g = 0; g < e.partition.size(); ++g) {
+        if (g > 0) p += "|";
+        p += FormatIdList(e.partition[g]);
+      }
+      add(p);
+    }
+    if (e.actions & kActOutage) add("outage=" + FormatIdList(e.outage_regions));
+    if (e.actions & kActJitter) add("jitter=" + std::to_string(e.jitter_pct));
   }
   if (schedule.epoch_length > 0) {
     out += ";epoch=" + std::to_string(schedule.epoch_length);

@@ -63,10 +63,23 @@ std::vector<bool> RollbackVictimMask(uint32_t n, const std::vector<bool>* faulty
 //   range     := <from> | <from> '-' | <from> '-' <to>      (to exclusive,
 //                "<from>-" = open-ended)
 //   action    := "equivocate" | "withhold" | "delay=" <us> | "target-leader"
+//              | "partition=" group ('|' group)+   (group := idlist)
+//              | "outage=" idlist                  (correlated region outage)
+//              | "jitter=" <pct>                   (WAN jitter, % of latency)
+//   idlist    := idrange ('+' idrange)*
+//   idrange   := <id> | <lo> '-' <hi>              (hi inclusive)
+//
+// All numbers are plain digit strings: no sign characters, no whitespace
+// ("+5" and " 5" are rejected — Format never emits them, and accepting them
+// would break the round-trip contract).
 //
 // Examples: "0-:withhold"            withhold forever
 //           "1-3:delay=5000;gst=90000"  5ms extra delay in epochs 1-2,
 //                                       declared GST at 90ms
+//           "0-3:partition=0-7|8-15"    split the first 16 replicas into two
+//                                       halves during epochs 0-2
+//           "2:outage=0+2,jitter=50"    regions 0 and 2 degraded and +50%
+//                                       uniform jitter during epoch 2
 //
 // Parse and Format round-trip: Parse(Format(s)) == s for any valid schedule.
 

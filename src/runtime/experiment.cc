@@ -74,6 +74,10 @@ std::string DescribeConfig(const ExperimentConfig& config) {
     // is a repro, so it must match the flag that produced it.
     out += " strategy=" + FormatStrategySchedule(config.strategy);
   }
+  if (!config.reconfig.empty()) {
+    // As typed on the command line (views_per_epoch left unresolved).
+    out += " reconfig=" + FormatCommitteeSchedule(config.reconfig);
+  }
   out += " bw=" +
          std::to_string(static_cast<long long>(config.bandwidth_bytes_per_us));
   out += " groups=" + std::to_string(config.client_groups);
@@ -209,6 +213,21 @@ void Experiment::Setup() {
   cc.trusted_leader_enabled = config_.trusted_leader_enabled;
   cc.test_break_safety = config_.test_break_safety;
   cc.test_break_liveness = config_.test_break_liveness;
+  cc.test_break_reconfig = config_.test_break_reconfig;
+
+  // Committee reconfiguration: resolve the schedule's epoch geometry against
+  // the allocated pool (f+1 views per epoch, matching the pacemaker's
+  // Wish/TC boundaries) and check every member fits the allocation. The
+  // shared schedule threads into every replica's config and pacemaker.
+  if (!config_.reconfig.empty()) {
+    CommitteeSchedule sched = config_.reconfig;
+    if (sched.views_per_epoch == 0) sched.views_per_epoch = f + 1;
+    HS1_CHECK_EQ(sched.views_per_epoch, static_cast<uint64_t>(f) + 1)
+        << "reconfig epoch geometry must match the pacemaker's";
+    HS1_CHECK_LT(sched.MaxMember(), n) << "committee member outside allocation";
+    committee_ = std::make_shared<const CommitteeSchedule>(std::move(sched));
+    cc.committee = committee_;
+  }
 
   StrategySchedule schedule = config_.strategy;
   if (!schedule.empty() && schedule.epoch_length <= 0) {
@@ -231,6 +250,7 @@ void Experiment::Setup() {
     os.rollback_victims = plan_.rollback_victims;  // post-clamp
     os.faulty_mask = plan_.faulty_mask;
     os.schedule = plan_.schedule;
+    os.committee = committee_;
     os.seed = config_.seed;
     os.config_summary = DescribeConfig(config_);
     oracle_ = std::make_unique<InvariantOracle>(sim_.get(), std::move(os));
@@ -288,6 +308,81 @@ void Experiment::Setup() {
     }
   }
 
+  // Environmental interference (partition / correlated regional outage / WAN
+  // jitter) realizes the same way: barrier events install FaultRules at the
+  // entry's start and remove them at its end (the heal time). All three only
+  // drop or add delay, so the lookahead horizon stays valid; none of them is
+  // coalition-bound — they model the network, not the adversary's replicas.
+  if (plan_.schedule &&
+      plan_.schedule->HasAction(kActPartition | kActOutage | kActJitter)) {
+    for (const StrategyEntry& e : plan_.schedule->entries) {
+      std::vector<sim::FaultRule> rules;
+      if (e.actions & kActPartition) {
+        // One rule per group: drop everything it sends to the other groups.
+        // Nodes in no group keep talking to everyone.
+        for (size_t g = 0; g < e.partition.size(); ++g) {
+          std::vector<bool> from(n, false), others(n, false);
+          for (const uint32_t id : e.partition[g]) {
+            if (id < n) from[id] = true;
+          }
+          for (size_t h = 0; h < e.partition.size(); ++h) {
+            if (h == g) continue;
+            for (const uint32_t id : e.partition[h]) {
+              if (id < n) others[id] = true;
+            }
+          }
+          sim::FaultRule rule;
+          rule.from_match = std::move(from);
+          rule.to_match = std::move(others);
+          rule.drop_prob = 1.0;
+          rules.push_back(std::move(rule));
+        }
+      }
+      if (e.actions & kActOutage) {
+        // The listed regions fall off the map: all their traffic, both
+        // directions, is dropped until the entry heals.
+        std::vector<bool> member(n, false);
+        for (uint32_t r = 0; r < n; ++r) {
+          for (const uint32_t region : e.outage_regions) {
+            if (config_.topology.region_of[r] == region) member[r] = true;
+          }
+        }
+        sim::FaultRule out_rule;
+        out_rule.from_match = member;
+        out_rule.to_match = std::vector<bool>(n, true);
+        out_rule.drop_prob = 1.0;
+        rules.push_back(std::move(out_rule));
+        sim::FaultRule in_rule;
+        in_rule.from_match = std::vector<bool>(n, true);
+        in_rule.to_match = std::move(member);
+        in_rule.drop_prob = 1.0;
+        rules.push_back(std::move(in_rule));
+      }
+      if (e.actions & kActJitter) {
+        sim::FaultRule rule;
+        rule.from_match = std::vector<bool>(n, true);
+        rule.to_match = std::vector<bool>(n, true);
+        rule.extra_jitter_frac = static_cast<double>(e.jitter_pct) / 100.0;
+        rules.push_back(std::move(rule));
+      }
+      if (rules.empty()) continue;
+      const SimTime start =
+          static_cast<SimTime>(e.from_epoch) * plan_.schedule->epoch_length;
+      auto rule_ids = std::make_shared<std::vector<int>>();
+      sim_->At(start, [this, rules, rule_ids]() {
+        for (const sim::FaultRule& r : rules) rule_ids->push_back(net_->AddRule(r));
+      });
+      if (e.to_epoch != kEpochForever) {
+        const SimTime end =
+            static_cast<SimTime>(e.to_epoch) * plan_.schedule->epoch_length;
+        sim_->At(end, [this, rule_ids]() {
+          for (const int id : *rule_ids) net_->RemoveRule(id);
+          rule_ids->clear();
+        });
+      }
+    }
+  }
+
   replicas_.reserve(n);
   for (ReplicaId id = 0; id < n; ++id) {
     KvState state;  // lazy materialization: absent keys read as zero
@@ -338,6 +433,20 @@ ExperimentResult Experiment::Run() {
   res.views = replicas_[0]->metrics().views_entered - views_before;
   res.messages_sent = net_->messages_sent();
   res.bytes_sent = net_->bytes_sent();
+  const uint64_t final_view = replicas_[0]->view();
+  if (committee_) {
+    res.final_committee_n = committee_->AtView(final_view).n();
+    for (size_t i = 1; i < committee_->steps.size(); ++i) {
+      const uint64_t first_view = static_cast<uint64_t>(
+          committee_->steps[i].from_epoch) * committee_->views_per_epoch;
+      if (first_view <= final_view &&
+          committee_->steps[i].committee != committee_->steps[i - 1].committee) {
+        ++res.committee_changes;
+      }
+    }
+  } else {
+    res.final_committee_n = config_.n;
+  }
   for (uint32_t id = 0; id < config_.n; ++id) {
     const auto& m = replicas_[id]->metrics();
     res.slots += m.slots_proposed;

@@ -97,6 +97,13 @@ struct ExperimentConfig {
   // resolved to (f+1) * view_timer at setup.
   StrategySchedule strategy;
 
+  // Epoch-based committee reconfiguration (--reconfig; grammar in
+  // consensus/committee.h). All `n` nodes are allocated up front; the
+  // schedule switches each between member and standby at pacemaker epoch
+  // boundaries. views_per_epoch 0 is resolved to f+1 at setup; every member
+  // id must be < n. An empty schedule is the static full committee.
+  CommitteeSchedule reconfig;
+
   // Liveness-oracle thresholds (runtime/liveness.h); 0 = auto. Only read
   // when oracle_enabled.
   uint64_t liveness_k = 0;
@@ -151,6 +158,12 @@ struct ExperimentConfig {
   // after epoch 0 (see ConsensusConfig::test_break_liveness) to prove the
   // liveness oracle's progress monitor fires. Never enable outside tests.
   bool test_break_liveness = false;
+  // Test-only mutation hook: a replica voted out at an epoch boundary forges
+  // a conflicting commit at its last height and halts (see
+  // ConsensusConfig::test_break_reconfig). End-of-run CheckSafety skips
+  // crashed replicas, so only the oracle's cross-epoch committed-block
+  // lattice can catch it. Never enable outside tests.
+  bool test_break_reconfig = false;
 };
 
 struct ExperimentResult {
@@ -176,6 +189,12 @@ struct ExperimentResult {
   uint64_t rejects = 0;
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
+  // Reconfiguration: membership changes the observer replica actually lived
+  // through (schedule steps whose first view was entered), and the size of
+  // the committee active in the observer's final view. 0 / base n for runs
+  // without a schedule. Deterministic like every other consensus metric.
+  uint64_t committee_changes = 0;
+  uint32_t final_committee_n = 0;
   bool safety_ok = true;  // committed prefixes agree across correct replicas
   bool event_cap_hit = false;  // simulator stopped at its event cap: truncated run
   // Simulator events executed during the whole run (setup + warmup +
@@ -241,6 +260,7 @@ class Experiment {
   std::unique_ptr<InvariantOracle> oracle_;
   std::unique_ptr<LivenessOracle> liveness_;
   bool cap_parallelism_degraded_ = false;
+  std::shared_ptr<const CommitteeSchedule> committee_;  // resolved; null = static
   AdversaryPlan plan_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
 };

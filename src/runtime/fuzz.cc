@@ -79,6 +79,33 @@ ExperimentConfig FuzzConfigFromSeed(uint64_t seed) {
     }
     cfg.strategy.entries.push_back(entry);
   }
+
+  // A quarter of the configurations additionally reconfigure the committee:
+  // shrink to a prefix committee 0..k-1 at epoch 2, half the time growing
+  // back to the full set at epoch 5. Prefix committees keep the coalition
+  // (ids 1..num_faulty) inside every epoch's fault bound as long as
+  // k >= 3*num_faulty + 1. Rollback-attack tuples are excluded — victim
+  // designation and equivocation splits are defined against the static
+  // committee, and mixing the two would fuzz an adversary the paper does not
+  // model. Drawn after the strategy so pre-existing seeds keep their tuples.
+  if (cfg.fault != Fault::kRollbackAttack && rng.NextBool(0.25)) {
+    const uint32_t min_k = std::max(4u, 3 * cfg.num_faulty + 1);
+    if (min_k < cfg.n) {
+      const uint32_t k =
+          min_k + static_cast<uint32_t>(rng.NextBounded(cfg.n - min_k));
+      CommitteeStep full0, shrink, regrow;
+      full0.from_epoch = 0;
+      for (uint32_t i = 0; i < cfg.n; ++i) full0.committee.members.push_back(i);
+      shrink.from_epoch = 2;
+      for (uint32_t i = 0; i < k; ++i) shrink.committee.members.push_back(i);
+      cfg.reconfig.steps = {full0, shrink};
+      if (rng.NextBool(0.5)) {
+        regrow.from_epoch = 5;
+        regrow.committee = full0.committee;
+        cfg.reconfig.steps.push_back(regrow);
+      }
+    }
+  }
   return cfg;
 }
 

@@ -114,12 +114,26 @@ void InvariantOracle::OnBlockCommitted(ReplicaId replica, const BlockPtr& block)
   HeightEntry& entry = heights_[block->height()];
   if (entry.has_commit) {
     if (entry.committed_hash != block->hash()) {
-      Report("commit-conflict",
-             "replica " + std::to_string(replica) + " committed " +
-                 block->ToString() + " (" + block->hash().Short() +
-                 ") at height " + std::to_string(block->height()) +
-                 " but replica " + std::to_string(entry.first_committer) +
-                 " committed " + entry.committed_hash.Short() + " there");
+      std::string detail =
+          "replica " + std::to_string(replica) + " committed " +
+          block->ToString() + " (" + block->hash().Short() + ") at height " +
+          std::to_string(block->height()) + " but replica " +
+          std::to_string(entry.first_committer) + " committed " +
+          entry.committed_hash.Short() + " there";
+      if (setup_.committee) {
+        // Reconfiguration context: which epoch's committee each side was in
+        // when it last spoke, so a cross-membership fork names its boundary.
+        const uint64_t e = EpochIndex(st.last_view);
+        detail += " (committer in epoch " + std::to_string(e) +
+                  ", committee n=" +
+                  std::to_string(
+                      setup_.committee->AtEpoch(static_cast<uint32_t>(e)).n()) +
+                  "; first committer in epoch " +
+                  std::to_string(
+                      EpochIndex(replicas_[entry.first_committer].last_view)) +
+                  ")";
+      }
+      Report("commit-conflict", detail);
     }
     return;
   }

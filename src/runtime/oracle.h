@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "consensus/certificate.h"
+#include "consensus/committee.h"
 #include "consensus/config.h"
 #include "ledger/block.h"
 #include "sim/simulator.h"
@@ -69,6 +70,14 @@ class InvariantOracle {
     /// Resolved strategy schedule, when the run uses one; an equivocate
     /// entry designates rollback victims exactly like kRollbackAttack.
     std::shared_ptr<const StrategySchedule> schedule;
+    /// Resolved committee schedule, when the run reconfigures (null =
+    /// static). The committed-block lattice is keyed by chain height and
+    /// deliberately NOT reset at membership changes: Theorem B.5 agreement
+    /// binds the whole chain, so a replica voted out in epoch e must still
+    /// agree with blocks committed by the epoch-e+1 committee at heights it
+    /// ever speaks for. End-of-run CheckSafety cannot see this (it skips
+    /// crashed/out replicas); only this cross-epoch lattice can.
+    std::shared_ptr<const CommitteeSchedule> committee;
     uint64_t seed = 0;
     std::string config_summary;  // one-line repro, e.g. "protocol=... n=..."
   };
@@ -119,8 +128,12 @@ class InvariantOracle {
   bool IsRollbackVictim(ReplicaId r) const {
     return r < victim_mask_.size() && victim_mask_[r];
   }
-  /// Pacemaker epoch of a view (f+1 consecutive views per epoch).
+  /// Pacemaker epoch of a view (f+1 consecutive views per epoch; the
+  /// committee schedule, when present, carries the same resolved geometry).
   uint64_t EpochIndex(uint64_t view) const {
+    if (setup_.committee && setup_.committee->views_per_epoch > 0) {
+      return view / setup_.committee->views_per_epoch;
+    }
     const uint32_t f = setup_.n > 0 ? (setup_.n - 1) / 3 : 0;
     return view / (f + 1);
   }

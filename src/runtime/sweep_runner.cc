@@ -156,6 +156,18 @@ SweepOutcome SweepRunner::Run(const ScenarioSpec& spec, bool smoke) const {
       for (SweepPoint& p : outcome.points) p.config.strategy = strategy_;
     }
   }
+  if (has_reconfig_) {
+    // fig_reconfig sweeps the committee schedule as its row axis; the global
+    // override must not relabel it.
+    const bool axis_sweeps_reconfig =
+        std::any_of(outcome.points.begin(), outcome.points.end(),
+                    [&](const SweepPoint& p) {
+                      return p.config.reconfig != spec.base.reconfig;
+                    });
+    if (!axis_sweeps_reconfig) {
+      for (SweepPoint& p : outcome.points) p.config.reconfig = reconfig_;
+    }
+  }
   if (force_oracle_) {
     for (SweepPoint& p : outcome.points) p.config.oracle_enabled = true;
   }
@@ -402,6 +414,7 @@ int RunScenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
   if (options.has_lookahead) runner.OverrideLookahead(options.lookahead);
   if (options.oracle) runner.ForceOracle();
   if (options.has_strategy) runner.ForceStrategy(options.strategy);
+  if (options.has_reconfig) runner.ForceReconfig(options.reconfig);
   if (options.has_arrival) runner.ForceArrival(options.arrival);
   if (options.has_offered_load) runner.ForceOfferedLoad(options.offered_load);
   if (options.client_groups > 0) runner.ForceClientGroups(options.client_groups);

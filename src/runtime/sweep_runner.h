@@ -50,6 +50,11 @@ struct ScenarioRunOptions {
   // sweeps the strategy itself (fig_liveness does).
   bool has_strategy = false;
   StrategySchedule strategy;
+  // Committee reconfiguration schedule forced onto every point (--reconfig;
+  // grammar in consensus/committee.h). Respect-the-axis: ignored when the
+  // scenario sweeps the schedule itself (fig_reconfig does).
+  bool has_reconfig = false;
+  CommitteeSchedule reconfig;
   bool smoke = false;    // CI-sized points, endpoint-subsampled axes
   // Reruns the scenario this many times and reports *median* wall-clock
   // metrics (--repeat). Deterministic metrics are byte-identical across the
@@ -153,6 +158,14 @@ class SweepRunner {
     return *this;
   }
 
+  /// Forces a committee reconfiguration schedule onto every point
+  /// (respect-the-axis rule: ignored for scenarios sweeping it themselves).
+  SweepRunner& ForceReconfig(const CommitteeSchedule& reconfig) {
+    reconfig_ = reconfig;
+    has_reconfig_ = true;
+    return *this;
+  }
+
   /// Runs every expanded point of `spec` and returns merged results.
   SweepOutcome Run(const ScenarioSpec& spec, bool smoke = false) const;
 
@@ -171,6 +184,8 @@ class SweepRunner {
   CertScheme cert_scheme_ = CertScheme::kMultisigVector;
   bool has_strategy_ = false;
   StrategySchedule strategy_;
+  bool has_reconfig_ = false;
+  CommitteeSchedule reconfig_;
 };
 
 // Emitters over a merged outcome. All iterate points in spec order, so the

@@ -35,10 +35,14 @@ void Network::SetHandler(NodeId id, Handler handler) {
 }
 
 void Network::SetLatency(NodeId from, NodeId to, SimTime one_way) {
+  HS1_CHECK_LT(from, n_);
+  HS1_CHECK_LT(to, n_);
   latency_[from][to] = one_way;
 }
 
 void Network::SetSymmetricLatency(NodeId a, NodeId b, SimTime one_way) {
+  HS1_CHECK_LT(a, n_);
+  HS1_CHECK_LT(b, n_);
   latency_[a][b] = one_way;
   latency_[b][a] = one_way;
 }
@@ -69,6 +73,7 @@ SimTime Network::MinDeliveryLatency() const {
 }
 
 void Network::ImpairNode(NodeId id, SimTime extra_delay) {
+  HS1_CHECK_LT(id, n_);
   node_extra_delay_[id] = extra_delay;
 }
 
@@ -103,15 +108,26 @@ void Network::Send(NodeId from, NodeId to, NetMessagePtr msg) {
 
   // An impaired endpoint delays the whole message; two impaired endpoints
   // do not stack (the injected delay models one slow link segment).
-  SimTime extra = std::max(node_extra_delay_[from], node_extra_delay_[to]);
-  for (const auto& [id, rule] : rules_) {
-    (void)id;
-    if (rule.from_match[from] && rule.to_match[to]) {
-      if (rule.drop_prob > 0 && rngs_[from].NextBool(rule.drop_prob)) {
-        ++messages_dropped_by_[from];
-        return;
+  // Self-delivery never crosses a link: it is exempt from impairments and
+  // fault rules exactly as it is exempt from jitter and egress
+  // serialization below. In particular a loopback send must never consume a
+  // drop/jitter draw from the sender's RNG stream — that would let
+  // self-traffic (a local scheduling artifact) perturb the fault pattern
+  // observed by every later cross-node message from the same sender.
+  SimTime extra = 0;
+  double jitter_frac = config_.jitter_frac;
+  if (to != from) {
+    extra = std::max(node_extra_delay_[from], node_extra_delay_[to]);
+    for (const auto& [id, rule] : rules_) {
+      (void)id;
+      if (rule.from_match[from] && rule.to_match[to]) {
+        if (rule.drop_prob > 0 && rngs_[from].NextBool(rule.drop_prob)) {
+          ++messages_dropped_by_[from];
+          return;
+        }
+        extra += rule.extra_delay;
+        jitter_frac += rule.extra_jitter_frac;
       }
-      extra += rule.extra_delay;
     }
   }
 
@@ -127,8 +143,8 @@ void Network::Send(NodeId from, NodeId to, NetMessagePtr msg) {
   }
 
   SimTime lat = latency_[from][to];
-  if (config_.jitter_frac > 0 && to != from) {
-    lat += static_cast<SimTime>(static_cast<double>(lat) * config_.jitter_frac *
+  if (jitter_frac > 0 && to != from) {
+    lat += static_cast<SimTime>(static_cast<double>(lat) * jitter_frac *
                                 rngs_[from].NextDouble());
   }
 

@@ -61,14 +61,18 @@ struct NetworkConfig {
   uint64_t seed = 1;
 };
 
-/// A generic fault rule; applies to messages with from_match[from] and
-/// to_match[to] set. `extra_delay` must be >= 0 — the lookahead horizon
-/// (MinDeliveryLatency) relies on faults only ever *adding* delay.
+/// A generic fault rule; applies to cross-node messages with
+/// from_match[from] and to_match[to] set (self-delivery is exempt, like
+/// jitter and egress serialization). `extra_delay` must be >= 0 and
+/// `extra_jitter_frac` multiplies the base latency by U[0, frac) on top of
+/// the config jitter — the lookahead horizon (MinDeliveryLatency) relies on
+/// faults only ever *adding* delay.
 struct FaultRule {
   std::vector<bool> from_match;
   std::vector<bool> to_match;
   SimTime extra_delay = 0;
   double drop_prob = 0.0;
+  double extra_jitter_frac = 0.0;
 };
 
 class Network {

@@ -131,6 +131,79 @@ TEST(StrategyScheduleTest, RejectsMalformedInput) {
   }
 }
 
+TEST(StrategyScheduleTest, RejectsNonCanonicalNumbers) {
+  // Regression: numbers used to go through strtoll, which accepts sign
+  // prefixes and leading whitespace — so "0:delay=+5" parsed but its
+  // round-trip "0:delay=5" compared unequal, breaking schedule dedup keys.
+  StrategySchedule s;
+  for (const char* bad :
+       {"0:delay=+5",     // sign prefix
+        "0:delay= 5",     // leading space
+        "gst= 5",         // leading space after segment '='
+        "+0:withhold",    // signed epoch
+        "0- 3:withhold",  // space inside range
+        "0:delay=99999999999999999999"}) {  // overflows int64
+    std::string error;
+    EXPECT_FALSE(ParseStrategySchedule(bad, &s, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(StrategyScheduleTest, ParsesInterferenceActions) {
+  StrategySchedule s;
+  std::string error;
+  ASSERT_TRUE(ParseStrategySchedule(
+      "0-3:partition=0-7|8-15;4:outage=0+2;5-:jitter=50;epoch=20000", &s,
+      &error))
+      << error;
+  ASSERT_EQ(s.entries.size(), 3u);
+  EXPECT_EQ(s.entries[0].actions, kActPartition);
+  ASSERT_EQ(s.entries[0].partition.size(), 2u);
+  EXPECT_EQ(s.entries[0].partition[0],
+            (std::vector<uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(s.entries[0].partition[1],
+            (std::vector<uint32_t>{8, 9, 10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(s.entries[1].actions, kActOutage);
+  EXPECT_EQ(s.entries[1].outage_regions, (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(s.entries[2].actions, kActJitter);
+  EXPECT_EQ(s.entries[2].jitter_pct, 50u);
+  // All three are message interference, so they push the derived GST.
+  EXPECT_EQ(s.ResolvedGst(), StrategySchedule::kGstNever);  // open-ended
+}
+
+TEST(StrategyScheduleTest, InterferenceFormatParseRoundTrips) {
+  for (const char* text :
+       {"0-3:partition=0-7|8-15", "0:partition=0+2+4|1+3|5-9;epoch=5000",
+        "2:outage=0+2,jitter=50", "0-:jitter=1000;gst=0",
+        "1-2:delay=100,partition=0-3|4-7"}) {
+    StrategySchedule s;
+    std::string error;
+    ASSERT_TRUE(ParseStrategySchedule(text, &s, &error)) << text << ": " << error;
+    StrategySchedule reparsed;
+    ASSERT_TRUE(
+        ParseStrategySchedule(FormatStrategySchedule(s), &reparsed, &error))
+        << FormatStrategySchedule(s) << ": " << error;
+    EXPECT_EQ(s, reparsed) << text;
+  }
+}
+
+TEST(StrategyScheduleTest, RejectsMalformedInterference) {
+  StrategySchedule s;
+  for (const char* bad :
+       {"0:partition=0-7",        // single group partitions nothing
+        "0:partition=0-3|3-7",    // id 3 in two groups
+        "0:partition=0-3|",       // empty group
+        "0:partition=3-1|4-7",    // inverted range
+        "0:outage=",              // missing regions
+        "0:jitter=0",             // below 1%
+        "0:jitter=1001",          // above 1000%
+        "0:jitter=+5"}) {         // non-canonical number
+    std::string error;
+    EXPECT_FALSE(ParseStrategySchedule(bad, &s, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
 TEST(StrategyScheduleTest, ActionsAtFollowsEpochBoundaries) {
   StrategySchedule s;
   ASSERT_TRUE(ParseStrategySchedule("1-3:withhold;2:delay=100;epoch=1000", &s));

@@ -1,8 +1,8 @@
 // Randomized determinism stress harness: each seed derives an arbitrary
 // ExperimentConfig (committee size — including multi-word quorums past
 // n = 64 — protocol, batch, faults, bandwidth, authenticator scheme,
-// client-group shard counts, open-loop arrival processes) and the run is
-// repeated at
+// client-group shard counts, open-loop arrival processes, epoch-based
+// committee reconfiguration) and the run is repeated at
 // {1, 4} sim_jobs x {off, auto} lookahead. Every deterministic result field
 // must be identical, so parallel-executor regressions surface from plain
 // `ctest` instead of hand-written reproduction scripts; a failure names the
@@ -84,6 +84,27 @@ ExperimentConfig ConfigFromSeed(uint64_t seed) {
   cfg.warmup = Millis(40);
   cfg.seed = seed;
   cfg.oracle_enabled = true;
+
+  // A third of the configs reconfigure the committee mid-run: shrink to a
+  // prefix committee 0..k-1 at epoch 1, then regrow at epoch 3. Prefix
+  // committees keep the faulty coalition (ids 1..num_faulty) inside every
+  // epoch's fault bound whenever k >= 3*num_faulty + 1. Drawn last so the
+  // earlier seeds' (protocol, n, fault, ...) tuples are unchanged.
+  if (rng.NextBounded(3) == 0) {
+    const uint32_t min_k = std::max(4u, 3 * cfg.num_faulty + 1);
+    if (min_k < cfg.n) {
+      const uint32_t k =
+          min_k + static_cast<uint32_t>(rng.NextBounded(cfg.n - min_k));
+      CommitteeStep full0, shrink, regrow;
+      full0.from_epoch = 0;
+      for (uint32_t i = 0; i < cfg.n; ++i) full0.committee.members.push_back(i);
+      shrink.from_epoch = 1;
+      for (uint32_t i = 0; i < k; ++i) shrink.committee.members.push_back(i);
+      regrow.from_epoch = 3;
+      regrow.committee = full0.committee;
+      cfg.reconfig.steps = {full0, shrink, regrow};
+    }
+  }
   return cfg;
 }
 

@@ -157,6 +157,26 @@ TEST(PacemakerTest, CrashedMinorityDoesNotBlockSync) {
   }
 }
 
+TEST(PacemakerTest, WishStateStaysBoundedOver10kViews) {
+  // Regression: wishes_ / tc_handled_ used to grow one entry per epoch for
+  // the lifetime of the run (an unbounded-memory bug in long experiments).
+  // EnterView now prunes every view below the current epoch start, so after
+  // 10k views the resident state is the current boundary plus at most a
+  // wish/TC that arrived early for the next one — a small constant, not ~5k.
+  PacemakerHarness h(4, 1, Millis(100), Millis(1), /*instant_progress=*/true);
+  h.StartAll();
+  SimTime t = 0;
+  while (h.pacemakers_[0]->current_view() < 10'000 && t < Millis(20'000)) {
+    t += Millis(100);
+    h.sim_.RunUntil(t);
+  }
+  ASSERT_GE(h.pacemakers_[0]->current_view(), 10'000u);
+  for (uint32_t i = 0; i < h.n_; ++i) {
+    EXPECT_LE(h.pacemakers_[i]->wish_state_size(), 4u) << "replica " << i;
+    EXPECT_LE(h.pacemakers_[i]->tc_handled_size(), 4u) << "replica " << i;
+  }
+}
+
 TEST(PacemakerTest, LaggardJumpsForwardOnTc) {
   // Replica 3 misses the first TC (crashed during sync, then recovers): a
   // later TC pulls it to the current epoch.

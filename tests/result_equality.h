@@ -34,6 +34,8 @@ inline void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& 
   EXPECT_EQ(a.rejects, b.rejects);
   EXPECT_EQ(a.messages_sent, b.messages_sent);
   EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.committee_changes, b.committee_changes);
+  EXPECT_EQ(a.final_committee_n, b.final_committee_n);
   EXPECT_EQ(a.safety_ok, b.safety_ok);
   EXPECT_EQ(a.event_cap_hit, b.event_cap_hit);
   EXPECT_EQ(a.oracle_violations, b.oracle_violations);

@@ -219,6 +219,92 @@ TEST(NetworkTest, DropRuleDiscardsDeterministically) {
   EXPECT_EQ(received, 1);
 }
 
+TEST(NetworkTest, LoopbackIgnoresFaultRulesAndImpairments) {
+  // Self-delivery models a replica handing a message to itself in memory; it
+  // must not be droppable, delayable, or jitterable by wire-level faults.
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  std::vector<SimTime> arrivals;
+  net.SetHandler(0, [&](NodeId, const NetMessagePtr&) {
+    arrivals.push_back(sim.Now());
+  });
+  FaultRule rule;
+  rule.from_match.assign(2, true);
+  rule.to_match.assign(2, true);
+  rule.drop_prob = 1.0;
+  rule.extra_delay = Millis(50);
+  net.AddRule(rule);
+  net.ImpairNode(0, Millis(5));
+  net.Send(0, 0, std::make_shared<TestMsg>(1, 100));
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 1);  // loopback latency only
+  EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+TEST(NetworkTest, SelfTrafficDoesNotPerturbFaultRngStreams) {
+  // Regression: self-delivery used to run the fault-rule loop, consuming
+  // sender-RNG draws and thereby shifting the drop/jitter pattern of
+  // unrelated cross-node traffic. Loopback is now exempt from rules and
+  // jitter, so the cross-node schedule is byte-identical whether or not
+  // self-sends are interleaved.
+  auto run = [](bool with_self_sends) {
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.default_latency = 100;
+    cfg.bandwidth_bytes_per_us = 1000;
+    cfg.jitter_frac = 0.3;
+    Network net(&sim, 2, cfg);
+    std::vector<SimTime> arrivals;
+    net.SetHandler(0, [](NodeId, const NetMessagePtr&) {});
+    net.SetHandler(1, [&](NodeId, const NetMessagePtr&) {
+      arrivals.push_back(sim.Now());
+    });
+    FaultRule rule;
+    rule.from_match.assign(2, true);
+    rule.to_match.assign(2, true);
+    rule.drop_prob = 0.5;
+    net.AddRule(rule);
+    // Sends fire at fixed absolute times so the two runs' send schedules are
+    // identical by construction; only RNG consumption could differ.
+    for (int i = 0; i < 32; ++i) {
+      sim.At(i * 1000, [&net, i, with_self_sends] {
+        if (with_self_sends) net.Send(0, 0, std::make_shared<TestMsg>(i, 100));
+        net.Send(0, 1, std::make_shared<TestMsg>(i, 100));
+      });
+    }
+    sim.Run();
+    return arrivals;
+  };
+  const std::vector<SimTime> without = run(false);
+  EXPECT_FALSE(without.empty());               // drop_prob=0.5 passes some
+  EXPECT_LT(without.size(), 32u);              // ... and drops some
+  EXPECT_EQ(without, run(true));
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(NetworkDeathTest, SetLatencyRejectsOutOfRangeNode) {
+  // Regression: out-of-range ids used to write past the latency matrix.
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  EXPECT_DEATH(net.SetLatency(2, 0, Millis(1)), "vs");
+  EXPECT_DEATH(net.SetLatency(0, 2, Millis(1)), "vs");
+}
+
+TEST(NetworkDeathTest, SetSymmetricLatencyRejectsOutOfRangeNode) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  EXPECT_DEATH(net.SetSymmetricLatency(5, 0, Millis(1)), "vs");
+  EXPECT_DEATH(net.SetSymmetricLatency(0, 5, Millis(1)), "vs");
+}
+
+TEST(NetworkDeathTest, ImpairNodeRejectsOutOfRangeNode) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  EXPECT_DEATH(net.ImpairNode(2, Millis(1)), "vs");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 TEST(NetworkTest, StatsCountMessagesAndBytes) {
   Simulator sim;
   Network net(&sim, 3, FastConfig());

@@ -42,7 +42,15 @@ void PrintUsage(std::FILE* out) {
                                 with actions equivocate|withhold|delay=<us>|
                                 target-leader, plus optional "epoch=<us>" and
                                 "gst=<us>" segments (see runtime/adversary.h).
-                                Example: "0-3:withhold;gst=120000"
+                                Example: "0-3:withhold;gst=120000". Also
+                                partition=<ids>|<ids>, outage=<regions>,
+                                jitter=<pct> environmental actions.
+  --reconfig=<schedule>         epoch-based committee reconfiguration:
+                                "<epoch>:<ids>" steps joined by ';', ids as
+                                "<id>" or "<lo>-<hi>" joined by '+' (see
+                                consensus/committee.h). Example:
+                                "0:0-15;4:0-11" shrinks to 12 members at
+                                epoch 4. Member ids must be < n.
   --liveness_k=<views>          liveness oracle: flag >k correct views past
                                 GST without a correct commit (0 = auto)
   --liveness_grace_ms=<ms>      liveness oracle: flag a run ending this long
@@ -78,7 +86,8 @@ Registered scenarios (the hs1bench sweep engine):
   --scenario=<name>             run a registered scenario instead of one point
   --jobs=<N> --format=table|csv|json --smoke    scenario runner options
   (--sim-jobs / --lookahead / --oracle / --arrival / --offered-load /
-   --client-groups / --cert-scheme / --strategy apply to scenario points too)
+   --client-groups / --cert-scheme / --strategy / --reconfig apply to
+   scenario points too)
 )");
 }
 
@@ -210,6 +219,14 @@ int RunMain(int argc, char** argv) {
     if (!ParseStrategySchedule(flags.GetString("strategy", ""), &cfg.strategy,
                                &error)) {
       std::fprintf(stderr, "bad --strategy: %s\n", error.c_str());
+      return Usage();
+    }
+  }
+  if (flags.Has("reconfig")) {
+    std::string error;
+    if (!ParseCommitteeSchedule(flags.GetString("reconfig", ""), &cfg.reconfig,
+                                &error)) {
+      std::fprintf(stderr, "bad --reconfig: %s\n", error.c_str());
       return Usage();
     }
   }

@@ -128,6 +128,15 @@ inline bool ParseScenarioRunOptions(const Flags& flags, ScenarioRunOptions* opti
     }
     options->has_strategy = true;
   }
+  if (flags.Has("reconfig")) {
+    std::string error;
+    if (!ParseCommitteeSchedule(flags.GetString("reconfig", ""),
+                                &options->reconfig, &error)) {
+      std::fprintf(stderr, "bad --reconfig: %s\n", error.c_str());
+      return false;
+    }
+    options->has_reconfig = true;
+  }
   options->oracle = flags.GetBool("oracle", false);
   options->smoke = flags.GetBool("smoke", false);
   options->repeat = static_cast<int>(flags.GetInt("repeat", 1));
